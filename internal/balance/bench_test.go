@@ -1,0 +1,67 @@
+package balance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// benchSnapshot builds a Zipf-ish skewed snapshot of nk keys on nd
+// instances, with a quarter of the keys holding routing entries.
+func benchSnapshot(nd, nk int) *stats.Snapshot {
+	rng := rand.New(rand.NewSource(1))
+	s := &stats.Snapshot{ND: nd}
+	for i := 0; i < nk; i++ {
+		cost := int64(1)
+		switch {
+		case i < nk/100+1:
+			cost = int64(200 + rng.Intn(400))
+		case i < nk/10:
+			cost = int64(10 + rng.Intn(40))
+		default:
+			cost = int64(1 + rng.Intn(4))
+		}
+		hash := rng.Intn(nd)
+		dest := hash
+		if rng.Intn(4) == 0 {
+			dest = rng.Intn(nd)
+		}
+		s.Keys = append(s.Keys, stats.KeyStat{
+			Key: tuple.Key(i), Cost: cost, Freq: cost,
+			Mem: cost * int64(1+rng.Intn(3)), Dest: dest, Hash: hash,
+		})
+	}
+	stats.SortByCostDesc(s.Keys)
+	return s
+}
+
+func benchPlanner(b *testing.B, p Planner, nk int) {
+	snap := benchSnapshot(10, nk)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Plan(snap, cfg)
+	}
+}
+
+func BenchmarkSimple10k(b *testing.B)   { benchPlanner(b, Simple{}, 10000) }
+func BenchmarkLLFD10k(b *testing.B)     { benchPlanner(b, LLFD{}, 10000) }
+func BenchmarkMinTable10k(b *testing.B) { benchPlanner(b, MinTable{}, 10000) }
+func BenchmarkMinMig10k(b *testing.B)   { benchPlanner(b, MinMig{}, 10000) }
+func BenchmarkMixed10k(b *testing.B)    { benchPlanner(b, Mixed{}, 10000) }
+
+func BenchmarkMixedScaling(b *testing.B) {
+	for _, nk := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("keys=%d", nk), func(b *testing.B) {
+			benchPlanner(b, Mixed{}, nk)
+		})
+	}
+}
+
+func BenchmarkMixedBFQuantized(b *testing.B) {
+	benchPlanner(b, MixedBF{MaxTrials: 64}, 10000)
+}

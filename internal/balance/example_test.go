@@ -1,0 +1,36 @@
+package balance_test
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/stats"
+)
+
+// ExampleMixed plans a rebalance for the running example of the
+// paper's Fig. 4: instance 0 carries 16 cost units, instance 1 only 4.
+func ExampleMixed() {
+	snap := &stats.Snapshot{ND: 2, Keys: []stats.KeyStat{
+		{Key: 1, Cost: 7, Mem: 7, Dest: 0, Hash: 0},
+		{Key: 2, Cost: 4, Mem: 4, Dest: 0, Hash: 0},
+		{Key: 5, Cost: 5, Mem: 5, Dest: 0, Hash: 1}, // routed to 0
+		{Key: 3, Cost: 2, Mem: 2, Dest: 1, Hash: 0}, // routed to 1
+		{Key: 4, Cost: 1, Mem: 1, Dest: 1, Hash: 1},
+		{Key: 6, Cost: 1, Mem: 1, Dest: 1, Hash: 1},
+	}}
+	stats.SortByCostDesc(snap.Keys)
+
+	plan := balance.Mixed{}.Plan(snap, balance.Config{ThetaMax: 0, Beta: 1.5})
+	fmt.Println("loads:", plan.Loads[0], plan.Loads[1])
+	fmt.Println("balanced:", plan.OverloadTheta == 0)
+	// Output:
+	// loads: 10 10
+	// balanced: true
+}
+
+// ExamplePlan_MigrationPct shows the migration-cost accounting.
+func ExamplePlan_MigrationPct() {
+	p := &balance.Plan{MigrationCost: 12}
+	fmt.Printf("%.0f%%\n", p.MigrationPct(120))
+	// Output: 10%
+}

@@ -1,0 +1,78 @@
+package balance
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// FuzzPlannersConsistency throws arbitrary byte-derived snapshots at
+// every planner and checks the structural invariants: total assignment,
+// accurate migration accounting, loads that re-derive from the table.
+func FuzzPlannersConsistency(f *testing.F) {
+	f.Add([]byte{10, 3, 200, 7, 1, 1, 90, 4}, uint8(3), uint8(10))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(2), uint8(0))
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(5), uint8(50))
+	f.Fuzz(func(t *testing.T, raw []byte, ndRaw, thetaRaw uint8) {
+		if len(raw) < 4 {
+			return
+		}
+		nd := int(ndRaw%8) + 2
+		theta := float64(thetaRaw%100) / 100
+		snap := &stats.Snapshot{ND: nd}
+		for i := 0; i+3 < len(raw) && i < 400; i += 4 {
+			snap.Keys = append(snap.Keys, stats.KeyStat{
+				Key:  tuple.Key(i),
+				Cost: int64(raw[i]) + 1,
+				Mem:  int64(raw[i+1]) + 1,
+				Dest: int(raw[i+2]) % nd,
+				Hash: int(raw[i+3]) % nd,
+			})
+		}
+		stats.SortByCostDesc(snap.Keys)
+		cfg := Config{ThetaMax: theta, TableMax: 1 + int(thetaRaw), Beta: 1.5}
+		for _, p := range []Planner{Simple{}, LLFD{}, MinTable{}, MinMig{}, Mixed{}, MixedBF{MaxTrials: 16}} {
+			plan := p.Plan(snap, cfg)
+			verifyPlan(t, p.Name(), snap, plan)
+		}
+	})
+}
+
+// verifyPlan re-derives every plan quantity from the snapshot and the
+// routing table and compares.
+func verifyPlan(t *testing.T, name string, snap *stats.Snapshot, plan *Plan) {
+	t.Helper()
+	loads := make([]int64, snap.ND)
+	var mig int64
+	moved := make(map[tuple.Key]bool, len(plan.Moved))
+	for _, k := range plan.Moved {
+		moved[k] = true
+	}
+	for _, ks := range snap.Keys {
+		d := ks.Hash
+		if td, ok := plan.Table.Lookup(ks.Key); ok {
+			d = td
+		}
+		if d < 0 || d >= snap.ND {
+			t.Fatalf("%s: key %d assigned out of range: %d", name, ks.Key, d)
+		}
+		loads[d] += ks.Cost
+		if d != ks.Dest {
+			if !moved[ks.Key] {
+				t.Fatalf("%s: key %d silently moved %d→%d", name, ks.Key, ks.Dest, d)
+			}
+			mig += ks.Mem
+		} else if moved[ks.Key] {
+			t.Fatalf("%s: key %d reported moved but stayed", name, ks.Key)
+		}
+	}
+	if mig != plan.MigrationCost {
+		t.Fatalf("%s: migration %d, recomputed %d", name, plan.MigrationCost, mig)
+	}
+	for d := range loads {
+		if loads[d] != plan.Loads[d] {
+			t.Fatalf("%s: loads[%d] %d, recomputed %d", name, d, plan.Loads[d], loads[d])
+		}
+	}
+}

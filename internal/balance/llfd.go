@@ -1,0 +1,282 @@
+package balance
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// planState is the mutable working set shared by every planner: the
+// per-key records, the per-instance load estimates L̂(d) and the
+// candidate heap C.
+type planState struct {
+	nd    int
+	loads []int64
+	total int64
+	avg   float64 // L̄ from the snapshot (fixed during planning)
+	lmax  float64 // Lmax = (1+θmax)·L̄
+	keys  []keyRec
+	byIdx map[tuple.Key]int
+	// byInst[d] holds indices of keys whose working destination is d.
+	// Entries go stale when keys move; scans revalidate against cur.
+	byInst [][]int
+	// cand is the candidate set C as a max-heap ordered by cost
+	// (Algorithm 1 pops keys in descending c(k)).
+	cand costHeap
+	// ops counts Adjust attempts, bounding pathological exchange
+	// cascades; see forceAssign.
+	ops int
+	// scratch is reused across exchangeSet calls within one plan run to
+	// avoid per-call slice churn.
+	scratch []int
+	// noAdjust disables exchangeable-set repair (ablation hook).
+	noAdjust bool
+}
+
+// initInstanceIndex builds byInst from the current working destinations.
+func (st *planState) initInstanceIndex() {
+	st.byInst = make([][]int, st.nd)
+	for i := range st.keys {
+		if d := st.keys[i].cur; d >= 0 {
+			st.byInst[d] = append(st.byInst[d], i)
+		}
+	}
+}
+
+// disassociate removes key i from its working instance and pushes it
+// into the candidate set.
+func (st *planState) disassociate(i int) {
+	k := &st.keys[i]
+	if k.cur < 0 {
+		return
+	}
+	st.loads[k.cur] -= k.cost
+	k.cur = -1
+	st.cand.push(st, i)
+}
+
+// assign binds key i to instance d and updates the load estimate.
+func (st *planState) assign(i, d int) {
+	k := &st.keys[i]
+	k.cur = d
+	st.loads[d] += k.cost
+	st.byInst[d] = append(st.byInst[d], i)
+}
+
+// instKeys returns the live key indices currently on instance d,
+// compacting stale entries in place.
+func (st *planState) instKeys(d int) []int {
+	live := st.byInst[d][:0]
+	for _, i := range st.byInst[d] {
+		if st.keys[i].cur == d {
+			live = append(live, i)
+		}
+	}
+	st.byInst[d] = live
+	return live
+}
+
+// overloaded returns instances with L̂(d) > Lmax.
+func (st *planState) overloaded() []int {
+	var out []int
+	for d, l := range st.loads {
+		if float64(l) > st.lmax {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// instancesByLoad returns instance ids ordered by ascending L̂(d)
+// (Algorithm 1 line 4), with id tie-break for determinism.
+func (st *planState) instancesByLoad() []int {
+	ds := make([]int, st.nd)
+	for i := range ds {
+		ds[i] = i
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if st.loads[ds[a]] != st.loads[ds[b]] {
+			return st.loads[ds[a]] < st.loads[ds[b]]
+		}
+		return ds[a] < ds[b]
+	})
+	return ds
+}
+
+// prepare implements Phase II: walk every overloaded instance and
+// disassociate keys — chosen by ψ — until the instance's estimated load
+// drops to Lmax or it runs out of keys (§III, "Preparing").
+func (st *planState) prepare(psi Criterion) {
+	for _, d := range st.overloaded() {
+		idxs := append([]int(nil), st.instKeys(d)...)
+		sort.Slice(idxs, func(a, b int) bool {
+			return psi.less(&st.keys[idxs[a]], &st.keys[idxs[b]])
+		})
+		for _, i := range idxs {
+			if float64(st.loads[d]) <= st.lmax {
+				break
+			}
+			st.disassociate(i)
+		}
+	}
+}
+
+// adjustBudgetFactor bounds the total number of Adjust attempts to
+// adjustBudgetFactor·|K| + adjustBudgetFloor. Exchange cascades strictly
+// decrease displaced-key costs, so the budget is a safety net rather
+// than the usual exit path.
+const (
+	adjustBudgetFactor = 8
+	adjustBudgetFloor  = 4096
+)
+
+// runLLFD implements Algorithm 1 (Least-Load Fit Decreasing): pop the
+// costliest candidate, try instances in ascending load order, and let
+// adjust repair re-overloading via exchangeable sets. Keys no instance
+// accepts are force-assigned to the least-loaded instance so the
+// algorithm always terminates with a total assignment.
+func (st *planState) runLLFD(psi Criterion) {
+	budget := adjustBudgetFactor*len(st.keys) + adjustBudgetFloor
+	for st.cand.len() > 0 {
+		i := st.cand.pop(st)
+		placed := false
+		if st.ops < budget {
+			for _, d := range st.instancesByLoad() {
+				st.ops++
+				if st.adjust(i, d, psi) {
+					st.assign(i, d)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			st.forceAssign(i)
+		}
+	}
+}
+
+// forceAssign places key i on the least-loaded instance unconditionally.
+func (st *planState) forceAssign(i int) {
+	best, bestLoad := 0, st.loads[0]
+	for d := 1; d < st.nd; d++ {
+		if st.loads[d] < bestLoad {
+			best, bestLoad = d, st.loads[d]
+		}
+	}
+	st.assign(i, best)
+}
+
+// adjust is the paper's Adjust(k, d, C, θmax) (Algorithm 1 lines 10–20):
+// accept if d stays within Lmax; otherwise try to construct an
+// exchangeable set E of keys currently on d, each cheaper than k
+// (condition ii), whose removal brings d within Lmax after k's arrival
+// (condition iii). Members of E are disassociated into C on success.
+func (st *planState) adjust(i, d int, psi Criterion) bool {
+	k := &st.keys[i]
+	if float64(st.loads[d])+float64(k.cost) <= st.lmax {
+		return true
+	}
+	if st.noAdjust {
+		return false
+	}
+	e := st.exchangeSet(i, d, psi)
+	if e == nil {
+		return false
+	}
+	for _, j := range e {
+		st.disassociate(j)
+	}
+	return float64(st.loads[d])+float64(k.cost) <= st.lmax
+}
+
+// exchangeSet builds E for key i arriving at instance d: candidates are
+// keys on d with cost strictly below c(k) (condition ii), taken in ψ
+// order until the projected load fits under Lmax (condition iii).
+// Returns nil when even the full eligible set cannot make room.
+func (st *planState) exchangeSet(i, d int, psi Criterion) []int {
+	k := &st.keys[i]
+	need := float64(st.loads[d]) + float64(k.cost) - st.lmax
+	if need <= 0 {
+		return []int{}
+	}
+	eligible := st.scratch[:0]
+	var eligibleSum int64
+	for _, j := range st.instKeys(d) {
+		if st.keys[j].cost < k.cost {
+			eligible = append(eligible, j)
+			eligibleSum += st.keys[j].cost
+		}
+	}
+	st.scratch = eligible
+	if float64(eligibleSum) < need {
+		return nil
+	}
+	sort.Slice(eligible, func(a, b int) bool {
+		return psi.less(&st.keys[eligible[a]], &st.keys[eligible[b]])
+	})
+	var out []int
+	var got float64
+	for _, j := range eligible {
+		if got >= need {
+			break
+		}
+		out = append(out, j)
+		got += float64(st.keys[j].cost)
+	}
+	if got < need {
+		return nil
+	}
+	return out
+}
+
+// costHeap is a binary max-heap of key indices ordered by descending
+// cost (ties by ascending key for determinism).
+type costHeap struct{ idx []int }
+
+func (h *costHeap) len() int { return len(h.idx) }
+
+func (h *costHeap) lessIdx(st *planState, a, b int) bool {
+	ka, kb := &st.keys[h.idx[a]], &st.keys[h.idx[b]]
+	if ka.cost != kb.cost {
+		return ka.cost > kb.cost
+	}
+	return ka.key < kb.key
+}
+
+func (h *costHeap) push(st *planState, i int) {
+	h.idx = append(h.idx, i)
+	c := len(h.idx) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !h.lessIdx(st, c, p) {
+			break
+		}
+		h.idx[c], h.idx[p] = h.idx[p], h.idx[c]
+		c = p
+	}
+}
+
+func (h *costHeap) pop(st *planState) int {
+	top := h.idx[0]
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	c := 0
+	for {
+		l, r := 2*c+1, 2*c+2
+		if l >= len(h.idx) {
+			break
+		}
+		m := l
+		if r < len(h.idx) && h.lessIdx(st, r, l) {
+			m = r
+		}
+		if !h.lessIdx(st, m, c) {
+			break
+		}
+		h.idx[c], h.idx[m] = h.idx[m], h.idx[c]
+		c = m
+	}
+	return top
+}

@@ -1,0 +1,249 @@
+// Package balance implements the paper's rebalance planners (§III): the
+// LLFD subroutine with its Adjust/exchangeable-set repair, the Simple
+// appendix baseline, and the MinTable, MinMig, Mixed and MixedBF
+// algorithms that construct a new assignment function F′ from one
+// interval's statistics snapshot.
+//
+// All planners are pure functions over a stats.Snapshot: they never
+// touch live engine state. The engine applies the returned Plan through
+// the controller's pause/migrate/resume protocol.
+package balance
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Config carries the optimization-problem parameters of Eq. 3 plus the
+// algorithm knobs from Tab. II.
+type Config struct {
+	// ThetaMax is the imbalance tolerance θmax: instance d is considered
+	// balanced when L(d) ≤ (1+θmax)·L̄.
+	ThetaMax float64
+	// TableMax is Amax, the routing-table size bound. ≤ 0 means
+	// unbounded (used by LLFD/MinMig, which the paper notes cannot
+	// control table size).
+	TableMax int
+	// Beta is the migration-priority exponent β in γ(k,w) = c(k)^β / S(k,w).
+	Beta float64
+	// MaxTrials bounds the Mixed algorithm's cleaning retries; ≤ 0
+	// selects a sane default.
+	MaxTrials int
+}
+
+// DefaultConfig mirrors the bold defaults of Tab. II.
+func DefaultConfig() Config {
+	return Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5, MaxTrials: 32}
+}
+
+// Plan is the outcome of one planner run: the new routing table A′, the
+// migration set Δ(F, F′) and the cost/balance accounting the evaluation
+// section reports.
+type Plan struct {
+	Algorithm string
+	// Table is A′: every key whose final destination differs from its
+	// hash default.
+	Table *route.Table
+	// Moved is Δ(F, F′): keys whose destination changed versus the
+	// previous assignment, i.e. the keys whose state must migrate.
+	Moved []tuple.Key
+	// MoveDest gives the new destination for each key in Moved.
+	MoveDest map[tuple.Key]int
+	// MigrationCost is M = Σ_{k ∈ Δ} S(k, w).
+	MigrationCost int64
+	// Loads is the planner's estimate of L(d) under F′.
+	Loads []int64
+	// MaxTheta is max_d θ(d) = |L(d)−L̄|/L̄ under the estimated loads
+	// (two-sided, as defined in §II-A; reported in figures).
+	MaxTheta float64
+	// OverloadTheta is max_d (L(d)−L̄)/L̄, the one-sided quantity the
+	// Lmax constraint bounds; feasibility is judged against it because
+	// underload can be unfixable by key placement alone.
+	OverloadTheta float64
+	// Feasible reports whether both constraints of Eq. 3 hold
+	// (overload ≤ θmax and |A′| ≤ Amax where Amax > 0).
+	Feasible bool
+	// GenTime is the wall-clock planning latency ("average generation
+	// time" in Figs. 8–12).
+	GenTime time.Duration
+}
+
+// TableSize returns |A′|.
+func (p *Plan) TableSize() int {
+	if p.Table == nil {
+		return 0
+	}
+	return p.Table.Len()
+}
+
+// MigrationPct returns the migration cost as a percentage of the total
+// state Σ_k S(k,w) in the snapshot, the unit of the paper's
+// migration-cost figures.
+func (p *Plan) MigrationPct(totalMem int64) float64 {
+	if totalMem <= 0 {
+		return 0
+	}
+	return 100 * float64(p.MigrationCost) / float64(totalMem)
+}
+
+// gamma computes the migration priority index γ(k, w) = c(k)^β / S(k, w)
+// (§III-B). Keys with no recorded state get S treated as 1 so that
+// stateless keys are maximally attractive to move.
+func gamma(cost, mem int64, beta float64) float64 {
+	s := float64(mem)
+	if s < 1 {
+		s = 1
+	}
+	if cost <= 0 {
+		return 0
+	}
+	return math.Pow(float64(cost), beta) / s
+}
+
+// Criterion orders candidate keys for Phase II selection and for the
+// exchangeable-set construction inside Adjust — the paper's ψ.
+type Criterion int
+
+const (
+	// ByCost is "highest computation cost first" (MinTable's ψ).
+	ByCost Criterion = iota
+	// ByGamma is "largest γ(k,w) first" (MinMig's and Mixed's ψ).
+	ByGamma
+)
+
+// keyRec is the planner's mutable view of one key.
+type keyRec struct {
+	key  tuple.Key
+	cost int64
+	mem  int64
+	g    float64 // cached γ under the run's β
+	orig int     // F(k): destination before planning (migration baseline)
+	hash int     // h(k)
+	cur  int     // working destination; -1 while in the candidate set
+}
+
+// less orders a before b under the criterion (descending preference).
+func (c Criterion) less(a, b *keyRec) bool {
+	switch c {
+	case ByGamma:
+		if a.g != b.g {
+			return a.g > b.g
+		}
+	default:
+	}
+	if a.cost != b.cost {
+		return a.cost > b.cost
+	}
+	return a.key < b.key
+}
+
+// Planner is the common interface of all rebalance algorithms.
+type Planner interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Plan constructs F′ from the snapshot under the configuration.
+	Plan(snap *stats.Snapshot, cfg Config) *Plan
+}
+
+// Snapshot conveniences shared by the drivers.
+
+func buildState(snap *stats.Snapshot, cfg Config) *planState {
+	st := &planState{
+		nd:    snap.ND,
+		loads: make([]int64, snap.ND),
+		keys:  make([]keyRec, len(snap.Keys)),
+		byIdx: make(map[tuple.Key]int, len(snap.Keys)),
+	}
+	for i, ks := range snap.Keys {
+		st.keys[i] = keyRec{
+			key:  ks.Key,
+			cost: ks.Cost,
+			mem:  ks.Mem,
+			g:    gamma(ks.Cost, ks.Mem, cfg.Beta),
+			orig: ks.Dest,
+			hash: ks.Hash,
+			cur:  ks.Dest,
+		}
+		st.byIdx[ks.Key] = i
+		st.loads[ks.Dest] += ks.Cost
+		st.total += ks.Cost
+	}
+	st.avg = float64(st.total) / float64(st.nd)
+	st.lmax = (1 + cfg.ThetaMax) * st.avg
+	return st
+}
+
+// finish converts the working state into a Plan.
+func (st *planState) finish(name string, snap *stats.Snapshot, started time.Time, cfg Config) *Plan {
+	p := &Plan{
+		Algorithm: name,
+		Table:     route.NewTable(),
+		MoveDest:  make(map[tuple.Key]int),
+		Loads:     append([]int64(nil), st.loads...),
+	}
+	for i := range st.keys {
+		k := &st.keys[i]
+		if k.cur != k.hash {
+			p.Table.Put(k.key, k.cur)
+		}
+		if k.cur != k.orig {
+			p.Moved = append(p.Moved, k.key)
+			p.MoveDest[k.key] = k.cur
+			p.MigrationCost += k.mem
+		}
+	}
+	sortKeys(p.Moved)
+	p.MaxTheta = stats.MaxTheta(p.Loads)
+	p.OverloadTheta = stats.OverloadTheta(p.Loads)
+	p.Feasible = p.OverloadTheta <= cfg.ThetaMax+thetaSlack
+	if cfg.TableMax > 0 && p.Table.Len() > cfg.TableMax {
+		p.Feasible = false
+	}
+	p.GenTime = time.Since(started)
+	return p
+}
+
+// thetaSlack absorbs integer-rounding: with integer costs, exact θmax
+// feasibility can be off by less than one tuple's weight.
+const thetaSlack = 1e-9
+
+func sortKeys(ks []tuple.Key) {
+	// insertion-free: small helper over sort.Slice kept local to avoid
+	// importing sort in every file.
+	if len(ks) < 2 {
+		return
+	}
+	quickSortKeys(ks)
+}
+
+func quickSortKeys(ks []tuple.Key) {
+	if len(ks) < 12 {
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+		return
+	}
+	pivot := ks[len(ks)/2]
+	lo, hi := 0, len(ks)-1
+	for lo <= hi {
+		for ks[lo] < pivot {
+			lo++
+		}
+		for ks[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			ks[lo], ks[hi] = ks[hi], ks[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSortKeys(ks[:hi+1])
+	quickSortKeys(ks[lo:])
+}

@@ -1,0 +1,121 @@
+// Package controller implements the rebalance control component of
+// Fig. 5: at every interval boundary it receives the operator's merged
+// statistics (step 1), judges whether the imbalance warrants a new
+// assignment function (step 2), runs the configured planner, and drives
+// the pause → migrate → ack → resume sequence against the stage
+// (steps 3–7, realized by engine.Stage.ApplyPlan).
+package controller
+
+import (
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Controller owns the rebalance policy for one operator.
+type Controller struct {
+	// Planner constructs F′ (Mixed, MinTable, Readj, …).
+	Planner balance.Planner
+	// Cfg carries θmax, Amax, β.
+	Cfg balance.Config
+	// Trigger is the imbalance level that provokes planning; 0 uses
+	// Cfg.ThetaMax (plan whenever the constraint is violated).
+	Trigger float64
+	// MinKeys suppresses planning until the snapshot has at least this
+	// many keys (warm-up guard); 0 means no guard.
+	MinKeys int
+	// IntervalDuration, when positive, models plan-generation latency:
+	// a plan whose GenTime exceeds it is applied ⌈GenTime/Interval⌉
+	// intervals late, against live state that has meanwhile drifted —
+	// the mechanism behind the paper's Fig. 15 observation that Readj's
+	// multi-minute planning delays recovery. Zero applies plans
+	// immediately (generation is instantaneous relative to the paper's
+	// 10 s intervals for the fast planners).
+	IntervalDuration time.Duration
+
+	// History of applied plans, for tests and reporting.
+	Applied []*balance.Plan
+	// SkippedBalanced counts intervals where no plan was needed.
+	SkippedBalanced int
+	// DeferredApplies counts plans that arrived late.
+	DeferredApplies int
+
+	pending      *balance.Plan
+	pendingDelay int
+}
+
+// New builds a controller with the given planner and config.
+func New(p balance.Planner, cfg balance.Config) *Controller {
+	return &Controller{Planner: p, Cfg: cfg}
+}
+
+// trigger returns the effective imbalance trigger.
+func (c *Controller) trigger() float64 {
+	if c.Trigger > 0 {
+		return c.Trigger
+	}
+	return c.Cfg.ThetaMax
+}
+
+// Maybe evaluates one snapshot and rebalances the stage if needed,
+// returning what it did (nil when balanced or not applicable).
+func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Rebalance {
+	if stage.AssignmentRouter() == nil || len(snap.Keys) == 0 {
+		return nil
+	}
+	// A plan still "in generation" from a previous interval lands now
+	// (possibly stale); no new planning happens while one is pending.
+	if c.pending != nil {
+		if c.pendingDelay > 0 {
+			c.pendingDelay--
+			return nil
+		}
+		plan := c.pending
+		c.pending = nil
+		c.DeferredApplies++
+		return c.apply(stage, plan)
+	}
+	if c.MinKeys > 0 && len(snap.Keys) < c.MinKeys {
+		return nil
+	}
+	if stats.MaxTheta(snap.Loads()) <= c.trigger() {
+		c.SkippedBalanced++
+		return nil
+	}
+	plan := c.Planner.Plan(snap, c.Cfg)
+	if c.IntervalDuration > 0 && plan.GenTime > c.IntervalDuration {
+		delay := int(plan.GenTime / c.IntervalDuration)
+		c.pending = plan
+		c.pendingDelay = delay - 1
+		if c.pendingDelay < 0 {
+			c.pendingDelay = 0
+		}
+		return nil
+	}
+	return c.apply(stage, plan)
+}
+
+// apply installs a plan against the live stage. Keys that disappeared
+// since planning simply migrate zero state; the routing table installs
+// as computed.
+func (c *Controller) apply(stage *engine.Stage, plan *balance.Plan) *engine.Rebalance {
+	moved := stage.ApplyPlan(plan)
+	c.Applied = append(c.Applied, plan)
+	return &engine.Rebalance{Plan: plan, Moved: moved}
+}
+
+// Hook adapts the controller to the engine's OnSnapshot callback,
+// managing only the engine's target stage.
+func (c *Controller) Hook() func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
+	return func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
+		if si != e.Target {
+			return nil
+		}
+		return c.Maybe(e.Stages[si], snap)
+	}
+}
+
+// Rebalances returns how many plans were applied.
+func (c *Controller) Rebalances() int { return len(c.Applied) }

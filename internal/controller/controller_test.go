@@ -1,0 +1,201 @@
+package controller
+
+import (
+	"time"
+
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/engine"
+	"repro/internal/hashring"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+func newStage(nd int) *engine.Stage {
+	r := engine.NewAssignmentRouter(route.NewAssignment(route.NewTable(), hashring.New(nd, 0)))
+	return engine.NewStage("op", nd, func(int) engine.Operator { return engine.StatefulCount }, 1, r)
+}
+
+// feedSkewed pushes a hot key plus background keys, then closes the
+// interval and returns the snapshot.
+func feedSkewed(st *engine.Stage, hot tuple.Key, hotN, bgKeys int) *stats.Snapshot {
+	for i := 0; i < hotN; i++ {
+		st.Feed(tuple.New(hot, nil))
+	}
+	for i := 0; i < bgKeys; i++ {
+		st.Feed(tuple.New(tuple.Key(1000+i), nil))
+	}
+	st.Barrier()
+	return st.EndInterval(0)
+}
+
+func TestControllerSkipsBalancedLoad(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.5, Beta: 1.5})
+	// Uniform load across many keys: no plan expected at θmax = 0.5.
+	for i := 0; i < 1000; i++ {
+		st.Feed(tuple.New(tuple.Key(i), nil))
+	}
+	st.Barrier()
+	snap := st.EndInterval(0)
+	if r := c.Maybe(st, snap); r != nil {
+		t.Fatalf("controller rebalanced a balanced operator (θ=%v)", snap.Loads())
+	}
+	if c.SkippedBalanced != 1 {
+		t.Fatalf("SkippedBalanced = %d, want 1", c.SkippedBalanced)
+	}
+}
+
+func TestControllerRebalancesSkew(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+	snap := feedSkewed(st, 7, 500, 100)
+	r := c.Maybe(st, snap)
+	if r == nil {
+		t.Fatal("controller ignored heavy skew")
+	}
+	if r.Plan == nil || len(r.Plan.Moved) == 0 {
+		t.Fatal("plan moved nothing despite skew")
+	}
+	if c.Rebalances() != 1 {
+		t.Fatalf("Rebalances = %d, want 1", c.Rebalances())
+	}
+	// The hot key's state must now live at its planned destination.
+	if d, ok := r.Plan.MoveDest[7]; ok {
+		if st.StoreOf(d).Size(7) == 0 {
+			t.Fatal("hot key state not at planned destination")
+		}
+	}
+}
+
+func TestControllerMinKeysGuard(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.01, Beta: 1.5})
+	c.MinKeys = 1000
+	snap := feedSkewed(st, 3, 200, 10)
+	if r := c.Maybe(st, snap); r != nil {
+		t.Fatal("MinKeys guard did not suppress rebalance")
+	}
+}
+
+func TestControllerCustomTrigger(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.01, Beta: 1.5})
+	c.Trigger = 10 // effectively never
+	snap := feedSkewed(st, 3, 500, 10)
+	if r := c.Maybe(st, snap); r != nil {
+		t.Fatal("custom trigger ignored")
+	}
+}
+
+func TestControllerHookTargetsOnlyTargetStage(t *testing.T) {
+	st := newStage(2)
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+	e := engine.New(func() tuple.Tuple { return tuple.New(1, nil) },
+		engine.Config{Window: 1, Budget: 100, MaxPendingFactor: 2, MigrationFactor: 1}, st)
+	defer e.Stop()
+	e.OnSnapshot = c.Hook()
+	hook := c.Hook()
+	if r := hook(e, 1, &stats.Snapshot{}); r != nil {
+		t.Fatal("hook acted on non-target stage")
+	}
+}
+
+// End-to-end: a hash-skewed stream under the Mixed controller must end
+// up with materially lower steady-state skew than without it.
+func TestControllerEndToEndReducesSkew(t *testing.T) {
+	run := func(withController bool) float64 {
+		st := newStage(4)
+		cfg := engine.Config{Window: 1, Budget: 2000, MaxPendingFactor: 2, MigrationFactor: 1}
+		var n uint64
+		// 10 hot keys cover most of the load.
+		e := engine.New(func() tuple.Tuple {
+			n++
+			if n%10 < 7 {
+				return tuple.New(tuple.Key(n%10), nil)
+			}
+			return tuple.New(tuple.Key(100+n%500), nil)
+		}, cfg, st)
+		defer e.Stop()
+		if withController {
+			c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+			e.OnSnapshot = c.Hook()
+		}
+		e.Run(10)
+		// Average skew over the last 5 intervals.
+		var s float64
+		for _, m := range e.Recorder.Series[5:] {
+			s += m.Skewness
+		}
+		return s / 5
+	}
+	plain := run(false)
+	managed := run(true)
+	if managed >= plain {
+		t.Fatalf("controller did not reduce skew: managed %.3f vs plain %.3f", managed, plain)
+	}
+	if managed > 1.3 {
+		t.Fatalf("managed steady-state skew %.3f too high", managed)
+	}
+}
+
+// slowPlanner wraps a planner and inflates its reported generation
+// time, exercising the deferred-application path.
+type slowPlanner struct {
+	inner   balance.Planner
+	genTime time.Duration
+}
+
+func (s slowPlanner) Name() string { return "slow" }
+func (s slowPlanner) Plan(snap *stats.Snapshot, cfg balance.Config) *balance.Plan {
+	p := s.inner.Plan(snap, cfg)
+	p.GenTime = s.genTime
+	return p
+}
+
+func TestSlowPlannerAppliesLate(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(slowPlanner{balance.Mixed{}, 25 * time.Millisecond}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+	c.IntervalDuration = 10 * time.Millisecond // plan takes 2.5 intervals
+
+	// Interval 0: imbalance detected, plan generated but deferred.
+	snap := feedSkewed(st, 7, 500, 100)
+	if r := c.Maybe(st, snap); r != nil {
+		t.Fatal("slow plan applied immediately")
+	}
+	// Interval 1: still generating.
+	snap1 := feedSkewed(st, 7, 500, 100)
+	if r := c.Maybe(st, snap1); r != nil {
+		t.Fatal("slow plan applied one interval early")
+	}
+	// Interval 2: plan lands.
+	snap2 := feedSkewed(st, 7, 500, 100)
+	r := c.Maybe(st, snap2)
+	if r == nil {
+		t.Fatal("deferred plan never applied")
+	}
+	if c.DeferredApplies != 1 {
+		t.Fatalf("DeferredApplies = %d, want 1", c.DeferredApplies)
+	}
+}
+
+func TestFastPlannerAppliesImmediately(t *testing.T) {
+	st := newStage(2)
+	defer st.Stop()
+	c := New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+	c.IntervalDuration = time.Hour // everything is "fast" at this scale
+	snap := feedSkewed(st, 7, 500, 100)
+	if r := c.Maybe(st, snap); r == nil {
+		t.Fatal("fast plan deferred")
+	}
+	if c.DeferredApplies != 0 {
+		t.Fatal("fast path counted as deferred")
+	}
+}

@@ -1,0 +1,241 @@
+// Package core is the public façade of the reproduction: it wires the
+// mixed-routing partitioner, the rebalance planners of §III, the
+// controller protocol of §IV and the stream engine substrate into a
+// small API mirroring how the paper's system would be embedded in a
+// real DSPE topology.
+//
+// Quick start:
+//
+//	gen := workload.NewZipfStream(100000, 0.85, 1.0, 10000, 1)
+//	sys := core.NewSystem(core.Config{Instances: 10, Algorithm: core.AlgMixed},
+//	    gen.Next, func(id int) engine.Operator { return engine.StatefulCount })
+//	defer sys.Stop()
+//	sys.Run(50)
+//	fmt.Println(sys.Recorder().MeanThroughput())
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/compact"
+	"repro/internal/controller"
+	"repro/internal/engine"
+	"repro/internal/hashring"
+	"repro/internal/metrics"
+	"repro/internal/pkgpart"
+	"repro/internal/readj"
+	"repro/internal/route"
+	"repro/internal/tuple"
+)
+
+// Algorithm names a rebalance strategy (or split-key baseline).
+type Algorithm string
+
+// The supported strategies. AlgStorm is hash-only with no rebalancing
+// (the Storm key-grouping baseline); AlgIdeal is key-oblivious shuffle.
+const (
+	AlgMixed    Algorithm = "mixed"
+	AlgMixedBF  Algorithm = "mixedbf"
+	AlgMinTable Algorithm = "mintable"
+	AlgMinMig   Algorithm = "minmig"
+	AlgLLFD     Algorithm = "llfd"
+	AlgSimple   Algorithm = "simple"
+	AlgCompact  Algorithm = "compact"
+	AlgReadj    Algorithm = "readj"
+	AlgStorm    Algorithm = "storm"
+	AlgPKG      Algorithm = "pkg"
+	AlgIdeal    Algorithm = "ideal"
+)
+
+// PKGOverhead is the fraction of service capacity PKG's partial-result
+// merging and acking consume (~12%), calibrated so Mixed's throughput
+// advantage over PKG matches the ~10% the paper reports in Fig. 14(a).
+const PKGOverhead = 1.125
+
+// Config selects the system layout and optimization parameters;
+// zero-valued fields take the paper's defaults (Tab. II).
+type Config struct {
+	// Instances is ND, the operator's parallelism. Default 10.
+	Instances int
+	// Window is the state window w in intervals. Default 1.
+	Window int
+	// ThetaMax is the imbalance tolerance. Default 0.08.
+	ThetaMax float64
+	// TableMax is Amax. Default 3000. Negative means unbounded.
+	TableMax int
+	// Beta is the γ exponent. Default 1.5.
+	Beta float64
+	// Algorithm selects the rebalance strategy. Default AlgMixed.
+	Algorithm Algorithm
+	// CompactR is the discretization degree for AlgCompact. Default 8.
+	CompactR int64
+	// ReadjSigma is Readj's hot-key threshold. Default 0.1.
+	ReadjSigma float64
+	// Budget is the spout's per-interval tuple budget. Default 10000.
+	Budget int64
+	// Capacity overrides the per-task service capacity (0 = saturation,
+	// Budget/Instances).
+	Capacity int64
+	// MinKeys delays rebalancing until the operator has seen this many
+	// keys (warm-up guard).
+	MinKeys int
+	// PlanInterval, when positive, is the wall-clock duration one
+	// logical interval represents for plan-latency accounting: planners
+	// slower than it apply their plans late (controller deferral). Zero
+	// disables the staleness model.
+	PlanInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Instances == 0 {
+		c.Instances = 10
+	}
+	if c.Window == 0 {
+		c.Window = 1
+	}
+	if c.ThetaMax == 0 {
+		c.ThetaMax = 0.08
+	}
+	if c.TableMax == 0 {
+		c.TableMax = 3000
+	}
+	if c.Beta == 0 {
+		c.Beta = 1.5
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = AlgMixed
+	}
+	if c.CompactR == 0 {
+		c.CompactR = 8
+	}
+	if c.ReadjSigma == 0 {
+		c.ReadjSigma = 0.1
+	}
+	if c.Budget == 0 {
+		c.Budget = 10000
+	}
+	return c
+}
+
+// BalanceConfig converts to the planner-facing parameter set.
+func (c Config) BalanceConfig() balance.Config {
+	c = c.withDefaults()
+	tm := c.TableMax
+	if tm < 0 {
+		tm = 0 // balance.Config treats ≤0 as unbounded
+	}
+	return balance.Config{ThetaMax: c.ThetaMax, TableMax: tm, Beta: c.Beta}
+}
+
+// NewPlanner instantiates the planner for an algorithm name. AlgStorm,
+// AlgPKG and AlgIdeal have no planner (they never migrate) and return
+// nil.
+func NewPlanner(cfg Config) balance.Planner {
+	cfg = cfg.withDefaults()
+	switch cfg.Algorithm {
+	case AlgMixed:
+		return balance.Mixed{}
+	case AlgMixedBF:
+		return balance.MixedBF{}
+	case AlgMinTable:
+		return balance.MinTable{}
+	case AlgMinMig:
+		return balance.MinMig{}
+	case AlgLLFD:
+		return balance.LLFD{}
+	case AlgSimple:
+		return balance.Simple{}
+	case AlgCompact:
+		return compact.Planner{R: cfg.CompactR}
+	case AlgReadj:
+		return readj.Planner{Sigma: cfg.ReadjSigma}
+	case AlgStorm, AlgPKG, AlgIdeal:
+		return nil
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algorithm))
+	}
+}
+
+// System is a single-operator topology under one rebalance strategy.
+type System struct {
+	Cfg        Config
+	Engine     *engine.Engine
+	Stage      *engine.Stage
+	Controller *controller.Controller
+}
+
+// NewSystem builds a spout → operator topology with ND instances of
+// op(id), routed according to cfg.Algorithm, rebalanced by the matching
+// planner (if any).
+func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) *System {
+	cfg = cfg.withDefaults()
+	router := newRouter(cfg)
+	st := engine.NewStage("operator", cfg.Instances, op, cfg.Window, router)
+	ecfg := engine.DefaultConfig()
+	ecfg.Window = cfg.Window
+	ecfg.Budget = cfg.Budget
+	ecfg.Capacity = cfg.Capacity
+	if cfg.Algorithm == AlgPKG {
+		// PKG's split keys require a downstream merge of partial
+		// results every period p (the paper settled on p = 10 ms); the
+		// coordination costs both latency and throughput (§V: merging
+		// "leads to additional response time increase and overall
+		// processing throughput reduction"). The latency floor models
+		// p/2 + ack waiting; PKGOverhead shaves the equivalent service
+		// capacity.
+		ecfg.LatencyFloorMs = 10
+		if ecfg.Capacity == 0 {
+			ecfg.Capacity = int64(float64(cfg.Budget/int64(cfg.Instances)) / PKGOverhead)
+		} else {
+			ecfg.Capacity = int64(float64(ecfg.Capacity) / PKGOverhead)
+		}
+	}
+	e := engine.New(spout, ecfg, st)
+	sys := &System{Cfg: cfg, Engine: e, Stage: st}
+	if p := NewPlanner(cfg); p != nil {
+		sys.Controller = controller.New(p, cfg.BalanceConfig())
+		sys.Controller.MinKeys = cfg.MinKeys
+		sys.Controller.IntervalDuration = cfg.PlanInterval
+		e.OnSnapshot = sys.Controller.Hook()
+	}
+	return sys
+}
+
+// newRouter builds the stage router matching the algorithm.
+func newRouter(cfg Config) engine.Router {
+	switch cfg.Algorithm {
+	case AlgPKG:
+		return engine.PKGRouter{R: pkgpart.NewRouter(cfg.Instances)}
+	case AlgIdeal:
+		return engine.NewShuffleRouter(cfg.Instances)
+	default:
+		return engine.NewAssignmentRouter(NewAssignment(cfg.Instances))
+	}
+}
+
+// NewAssignment returns the paper's default partition function: an
+// empty routing table over a consistent-hash ring of nd instances.
+func NewAssignment(nd int) *route.Assignment {
+	return route.NewAssignment(route.NewTable(), hashring.New(nd, 0))
+}
+
+// Run executes n intervals.
+func (s *System) Run(n int) { s.Engine.Run(n) }
+
+// Recorder exposes the per-interval metric series.
+func (s *System) Recorder() *metrics.Recorder { return s.Engine.Recorder }
+
+// Stop tears down the engine goroutines.
+func (s *System) Stop() { s.Engine.Stop() }
+
+// Dest evaluates the live partition function for a key (mixed routing
+// systems only).
+func (s *System) Dest(k tuple.Key) (int, bool) {
+	ar := s.Stage.AssignmentRouter()
+	if ar == nil {
+		return 0, false
+	}
+	return ar.Assignment().Dest(k), true
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func TestDefaultsMatchTableII(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Instances != 10 || c.Window != 1 || c.ThetaMax != 0.08 ||
+		c.TableMax != 3000 || c.Beta != 1.5 || c.Algorithm != AlgMixed {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestNewPlannerCoversAllAlgorithms(t *testing.T) {
+	withPlanner := []Algorithm{AlgMixed, AlgMixedBF, AlgMinTable, AlgMinMig, AlgLLFD, AlgSimple, AlgCompact, AlgReadj}
+	for _, a := range withPlanner {
+		if p := NewPlanner(Config{Algorithm: a}); p == nil {
+			t.Fatalf("no planner for %s", a)
+		}
+	}
+	for _, a := range []Algorithm{AlgStorm, AlgPKG, AlgIdeal} {
+		if p := NewPlanner(Config{Algorithm: a}); p != nil {
+			t.Fatalf("planner for migration-free scheme %s", a)
+		}
+	}
+}
+
+func TestNewPlannerPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown algorithm did not panic")
+		}
+	}()
+	NewPlanner(Config{Algorithm: "bogus"})
+}
+
+func TestBalanceConfigUnboundedTable(t *testing.T) {
+	bc := Config{TableMax: -1}.BalanceConfig()
+	if bc.TableMax != 0 {
+		t.Fatalf("negative TableMax mapped to %d, want 0 (unbounded)", bc.TableMax)
+	}
+}
+
+func TestSystemQuickstartMixed(t *testing.T) {
+	gen := workload.NewZipfStream(5000, 0.85, 1.0, 4000, 1)
+	sys := NewSystem(Config{Instances: 4, Budget: 4000, MinKeys: 10},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	sys.Engine.AdvanceWorkload = func(int64) {
+		gen.Advance(sys.Stage.AssignmentRouter().Assignment())
+	}
+	sys.Run(10)
+	if sys.Recorder().Len() != 10 {
+		t.Fatalf("recorded %d intervals, want 10", sys.Recorder().Len())
+	}
+	if sys.Controller.Rebalances() == 0 {
+		t.Fatal("Mixed system never rebalanced a z=0.85 stream")
+	}
+	if _, ok := sys.Dest(1); !ok {
+		t.Fatal("mixed system must expose a partition function")
+	}
+}
+
+func TestSystemStormBaselineNeverRebalances(t *testing.T) {
+	gen := workload.NewZipfStream(5000, 0.85, 1.0, 4000, 1)
+	sys := NewSystem(Config{Instances: 4, Budget: 4000, Algorithm: AlgStorm},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	sys.Run(5)
+	if sys.Controller != nil {
+		t.Fatal("Storm baseline has a controller")
+	}
+	if sys.Stage.AssignmentRouter().Assignment().Table().Len() != 0 {
+		t.Fatal("Storm baseline grew a routing table")
+	}
+}
+
+func TestSystemPKGAndIdealRouters(t *testing.T) {
+	for _, alg := range []Algorithm{AlgPKG, AlgIdeal} {
+		gen := workload.NewZipfStream(1000, 0.85, 0, 1000, 2)
+		sys := NewSystem(Config{Instances: 4, Budget: 1000, Algorithm: alg},
+			gen.Next, func(int) engine.Operator { return engine.Discard })
+		sys.Run(2)
+		if _, ok := sys.Dest(tuple.Key(1)); ok {
+			t.Fatalf("%s should not expose a key-deterministic destination", alg)
+		}
+		sys.Stop()
+	}
+}
+
+func TestMixedBeatsStormOnSkewedThroughput(t *testing.T) {
+	// The headline claim, end to end: on a skewed fluctuating stream,
+	// Mixed sustains higher throughput and lower latency than hash-only.
+	run := func(alg Algorithm) (float64, float64) {
+		// Discriminating regime: strong skew (z = 1) over few keys, so
+		// the hot keys' hash placement dominates instance load — the
+		// imbalance mixed routing exists to fix (Fig. 7(b)).
+		gen := workload.NewZipfStream(500, 1.0, 0.5, 8000, 3)
+		sys := NewSystem(Config{Instances: 8, Budget: 8000, Algorithm: alg, MinKeys: 10},
+			gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+		defer sys.Stop()
+		if ar := sys.Stage.AssignmentRouter(); ar != nil {
+			sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+		}
+		sys.Run(20)
+		var thr, lat float64
+		for _, m := range sys.Recorder().Series[10:] {
+			thr += m.Throughput
+			lat += m.LatencyMs
+		}
+		return thr / 10, lat / 10
+	}
+	stormThr, stormLat := run(AlgStorm)
+	mixedThr, mixedLat := run(AlgMixed)
+	if mixedThr <= stormThr {
+		t.Fatalf("Mixed throughput %.0f not above Storm %.0f", mixedThr, stormThr)
+	}
+	if mixedLat >= stormLat {
+		t.Fatalf("Mixed latency %.1f not below Storm %.1f", mixedLat, stormLat)
+	}
+}
+
+func TestNewAssignmentPureHash(t *testing.T) {
+	a := NewAssignment(8)
+	if a.Table().Len() != 0 || a.Instances() != 8 {
+		t.Fatalf("NewAssignment = table %d, nd %d", a.Table().Len(), a.Instances())
+	}
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleNewPlanner shows planner selection by algorithm name.
+func ExampleNewPlanner() {
+	for _, alg := range []core.Algorithm{core.AlgMixed, core.AlgMinTable, core.AlgReadj} {
+		fmt.Println(core.NewPlanner(core.Config{Algorithm: alg}).Name())
+	}
+	// Output:
+	// Mixed
+	// MinTable
+	// Readj
+}
+
+// ExampleNewAssignment demonstrates the default partition function: an
+// empty routing table over a consistent-hash ring, so every key routes
+// to its hash home.
+func ExampleNewAssignment() {
+	a := core.NewAssignment(4)
+	fmt.Println("instances:", a.Instances())
+	fmt.Println("table size:", a.Table().Len())
+	fmt.Println("F(k) == h(k):", a.Dest(12345) == a.HashDest(12345))
+	// Output:
+	// instances: 4
+	// table size: 0
+	// F(k) == h(k): true
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Second round of façade coverage: the compact planner in a live
+// system, scale-out through the engine, plan-latency plumbing, and
+// capacity overrides.
+
+func TestCompactSystemRebalances(t *testing.T) {
+	gen := workload.NewZipfStream(5000, 1.0, 0.5, 4000, 9)
+	sys := NewSystem(Config{Instances: 4, Budget: 4000, Algorithm: AlgCompact, CompactR: 8, MinKeys: 16},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	ar := sys.Stage.AssignmentRouter()
+	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys.Run(10)
+	if sys.Controller.Rebalances() == 0 {
+		t.Fatal("compact planner never rebalanced a z=1 stream")
+	}
+	// Routing table stays within Amax.
+	if n := ar.Assignment().Table().Len(); n > 3000 {
+		t.Fatalf("compact system table %d exceeds default bound", n)
+	}
+}
+
+func TestScaleOutThroughCore(t *testing.T) {
+	gen := workload.NewZipfStream(2000, 0.85, 0, 3000, 4)
+	sys := NewSystem(Config{Instances: 3, Budget: 3000, MinKeys: 16},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	sys.Run(3)
+	moved := sys.Engine.ScaleOutTarget()
+	if sys.Stage.Instances() != 4 {
+		t.Fatalf("instances = %d after scale-out", sys.Stage.Instances())
+	}
+	if moved == 0 {
+		t.Fatal("scale-out moved no state despite 3 intervals of accumulation")
+	}
+	sys.Run(3) // must keep running correctly at the new width
+	if sys.Recorder().Len() != 6 {
+		t.Fatalf("recorded %d intervals", sys.Recorder().Len())
+	}
+}
+
+func TestPlanIntervalPlumbedToController(t *testing.T) {
+	gen := workload.NewZipfStream(100, 0.85, 0, 100, 1)
+	sys := NewSystem(Config{Instances: 2, Budget: 100, PlanInterval: 5 * time.Second},
+		gen.Next, func(int) engine.Operator { return engine.Discard })
+	defer sys.Stop()
+	if sys.Controller.IntervalDuration != 5*time.Second {
+		t.Fatalf("IntervalDuration = %v", sys.Controller.IntervalDuration)
+	}
+}
+
+func TestCapacityOverrideReachesEngine(t *testing.T) {
+	gen := workload.NewZipfStream(100, 0.85, 0, 100, 1)
+	sys := NewSystem(Config{Instances: 2, Budget: 100, Capacity: 77},
+		gen.Next, func(int) engine.Operator { return engine.Discard })
+	defer sys.Stop()
+	if got := sys.Engine.CapacityOf(0); got != 77 {
+		t.Fatalf("engine capacity = %d, want 77", got)
+	}
+}
+
+func TestPKGCapacityShaved(t *testing.T) {
+	gen := workload.NewZipfStream(100, 0.85, 0, 1000, 1)
+	sys := NewSystem(Config{Instances: 2, Budget: 1000, Algorithm: AlgPKG},
+		gen.Next, func(int) engine.Operator { return engine.Discard })
+	defer sys.Stop()
+	// Saturation would be 500; PKG pays the merge overhead.
+	if got := sys.Engine.CapacityOf(0); got >= 500 {
+		t.Fatalf("PKG capacity %d not shaved below 500", got)
+	}
+}
+
+func TestReadjSystemUsesConfiguredSigma(t *testing.T) {
+	gen := workload.NewZipfStream(1000, 1.0, 0.5, 2000, 5)
+	sys := NewSystem(Config{Instances: 4, Budget: 2000, Algorithm: AlgReadj, ReadjSigma: 0.05, MinKeys: 16},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	ar := sys.Stage.AssignmentRouter()
+	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys.Run(8)
+	if sys.Controller.Rebalances() == 0 {
+		t.Fatal("Readj system never rebalanced")
+	}
+}
+
+func TestWindowPropagatesToStores(t *testing.T) {
+	gen := workload.NewZipfStream(50, 0.85, 0, 100, 2)
+	sys := NewSystem(Config{Instances: 2, Budget: 100, Window: 4},
+		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	if w := sys.Stage.StoreOf(0).Window(); w != 4 {
+		t.Fatalf("store window = %d, want 4", w)
+	}
+	// State observed in interval 0 must survive 4 intervals.
+	k := tuple.Key(7)
+	sys.Stage.Feed(tuple.New(k, nil))
+	sys.Stage.Barrier()
+	d, _ := sys.Dest(k)
+	sys.Run(3)
+	if sys.Stage.StoreOf(d).Size(k) == 0 {
+		t.Fatal("windowed state evicted too early")
+	}
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func BenchmarkStageFeedHash(b *testing.B) {
+	st := statefulStage(10, 1)
+	defer st.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Feed(tuple.New(tuple.Key(i), nil))
+	}
+	b.StopTimer()
+	st.Barrier()
+}
+
+func BenchmarkEngineInterval(b *testing.B) {
+	var n uint64
+	st := statefulStage(10, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 10000
+	e := New(func() tuple.Tuple {
+		n++
+		return tuple.New(tuple.Key(n%10000), nil)
+	}, cfg, st)
+	defer e.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunInterval()
+	}
+}
+
+func BenchmarkMigrateKey(b *testing.B) {
+	st := statefulStage(2, 1)
+	defer st.Stop()
+	k := tuple.Key(1)
+	st.Feed(tuple.New(k, nil))
+	st.Barrier()
+	src := st.AssignmentRouter().Assignment().Dest(k)
+	dst := 1 - src
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.migrateKey(k, src, dst)
+		src, dst = dst, src
+	}
+}

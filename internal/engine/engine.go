@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"repro/internal/balance"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Spout produces the next input tuple. The paper configured spout
+// parallelism at 10; since our spouts are in-process generators the
+// parallelism collapses into one deterministic draw sequence.
+type Spout func() tuple.Tuple
+
+// Config is the engine's performance model (DESIGN.md §6). The paper
+// drove its cluster to CPU saturation at perfect balance; we mirror
+// that with Capacity = spout budget / ND for the target stage, so any
+// imbalance immediately shows up as backlog, throttling and latency.
+type Config struct {
+	// Window is the state window w in intervals.
+	Window int
+	// Budget is the spout's tuple budget per interval at full rate.
+	Budget int64
+	// Capacity is a task's service capacity in cost units per interval;
+	// 0 derives saturation capacity Budget/ND from the target stage.
+	Capacity int64
+	// MaxPendingFactor is the backpressure threshold: when a task's
+	// backlog exceeds MaxPendingFactor·Capacity, the spout throttles
+	// proportionally (Storm's max-pending mechanism).
+	MaxPendingFactor float64
+	// MigrationFactor converts one unit of migrated state into consumed
+	// service capacity on both endpoints in the following interval.
+	// State transfer is bulk I/O overlapping normal processing, so a
+	// unit of state costs a fraction of a unit of tuple service; 0.5
+	// makes heavy migrations (MinTable's full reshuffles) visibly dent
+	// throughput while Mixed's minimal plans stay cheap — the Fig. 15/16
+	// contrast.
+	MigrationFactor float64
+	// LatencyFloorMs is an additive latency term for schemes with extra
+	// coordination (PKG's merge period p).
+	LatencyFloorMs float64
+}
+
+// DefaultConfig returns the model used across the experiments. The
+// pending threshold is deliberately tight (half an interval's service),
+// mirroring the paper's Storm configuration of a small max-pending: a
+// single backed-up instance throttles the whole spout, which is exactly
+// how intra-operator imbalance destroys cluster throughput in §I.
+func DefaultConfig() Config {
+	return Config{Window: 1, Budget: 10000, MaxPendingFactor: 0.5, MigrationFactor: 0.5}
+}
+
+// Rebalance reports what the controller hook did at an interval end.
+type Rebalance struct {
+	Plan  *balance.Plan
+	Moved int64
+}
+
+// Engine runs a pipeline of stages over logical intervals.
+type Engine struct {
+	Spout  Spout
+	Stages []*Stage
+	Cfg    Config
+	// Target selects the stage whose metrics are recorded (the operator
+	// under study; downstream stages still execute and consume).
+	Target   int
+	Recorder *metrics.Recorder
+	// OnSnapshot is the controller hook, invoked per stage at each
+	// interval end with the harvested statistics; it may apply a plan
+	// (via stage.ApplyPlan) and report what it did.
+	OnSnapshot func(e *Engine, stageIdx int, snap *stats.Snapshot) *Rebalance
+	// AdvanceWorkload, when set, is invoked after each interval so the
+	// generator can shift its distribution (fluctuation, bursts).
+	AdvanceWorkload func(interval int64)
+
+	interval  int64
+	capacity  []int64 // per stage
+	backlogT  [][]int64
+	lastEmit  int64
+	stopped   bool
+	snapshots []*stats.Snapshot // last interval's, per stage (for tests)
+}
+
+// New assembles an engine over the given stages.
+func New(spout Spout, cfg Config, stages ...*Stage) *Engine {
+	e := &Engine{Spout: spout, Stages: stages, Cfg: cfg, Recorder: &metrics.Recorder{}}
+	e.capacity = make([]int64, len(stages))
+	e.backlogT = make([][]int64, len(stages))
+	for i, s := range stages {
+		c := cfg.Capacity
+		if c == 0 {
+			c = cfg.Budget / int64(s.Instances())
+			if c < 1 {
+				c = 1
+			}
+		}
+		e.capacity[i] = c
+		e.backlogT[i] = make([]int64, s.Instances())
+	}
+	return e
+}
+
+// Interval returns the number of completed intervals.
+func (e *Engine) Interval() int64 { return e.interval }
+
+// CapacityOf returns stage si's per-task service capacity in cost
+// units per interval.
+func (e *Engine) CapacityOf(si int) int64 { return e.capacity[si] }
+
+// LastEmitted returns the post-throttle tuple count of the most recent
+// interval; comparing it with Cfg.Budget reveals how much demand the
+// backpressure suppressed.
+func (e *Engine) LastEmitted() int64 { return e.lastEmit }
+
+// LastSnapshots returns the previous interval's per-stage snapshots.
+func (e *Engine) LastSnapshots() []*stats.Snapshot { return e.snapshots }
+
+// Run executes n intervals.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.RunInterval()
+	}
+}
+
+// RunInterval drives one full logical interval: throttled emission,
+// pipelined processing, statistics harvest, controller hook, metrics.
+func (e *Engine) RunInterval() {
+	if e.stopped {
+		panic("engine: RunInterval after Stop")
+	}
+	target := e.Stages[e.Target]
+
+	// Backpressure: Storm's max-pending. The spout halves its pace in
+	// proportion to the worst backlog beyond the pending threshold.
+	emitN := e.Cfg.Budget
+	maxPending := int64(e.Cfg.MaxPendingFactor * float64(e.capacity[e.Target]))
+	var worst int64
+	for _, b := range target.Backlog {
+		if b > worst {
+			worst = b
+		}
+	}
+	if maxPending > 0 && worst > maxPending {
+		f := float64(maxPending) / float64(worst)
+		if f < 0.1 {
+			f = 0.1
+		}
+		emitN = int64(f * float64(emitN))
+	}
+	e.lastEmit = emitN
+
+	// Feed the pipeline, stage by stage (store-and-forward intervals).
+	for j := int64(0); j < emitN; j++ {
+		t := e.Spout()
+		t.EmitTick = e.interval
+		e.Stages[0].Feed(t)
+	}
+	for si := 0; si < len(e.Stages); si++ {
+		e.Stages[si].Barrier()
+		e.Stages[si].FlushOps()
+		if si+1 < len(e.Stages) {
+			for _, t := range e.Stages[si].DrainEmitted() {
+				t.EmitTick = e.interval
+				e.Stages[si+1].Feed(t)
+			}
+		} else {
+			e.Stages[si].DrainEmitted()
+		}
+	}
+
+	// Capture arrival accounting before EndInterval resets it, then run
+	// the performance model per stage.
+	type arr struct{ cost, tuples []int64 }
+	arrived := make([]arr, len(e.Stages))
+	for si, s := range e.Stages {
+		arrived[si] = arr{
+			cost:   append([]int64(nil), s.ArrivedCost()...),
+			tuples: append([]int64(nil), s.ArrivedTuples()...),
+		}
+	}
+
+	// Harvest statistics (also resets arrival accounting).
+	e.snapshots = make([]*stats.Snapshot, len(e.Stages))
+	for si, s := range e.Stages {
+		e.snapshots[si] = s.EndInterval(e.interval)
+	}
+
+	// Pre-rebalance live state volume for migration percentage.
+	var liveState int64
+	for d := 0; d < target.Instances(); d++ {
+		liveState += target.StoreOf(d).TotalSize()
+	}
+
+	// Controller hook (may pause/migrate/resume and swap assignments).
+	var reb *Rebalance
+	if e.OnSnapshot != nil {
+		for si := range e.Stages {
+			r := e.OnSnapshot(e, si, e.snapshots[si])
+			if si == e.Target && r != nil {
+				reb = r
+			}
+		}
+	}
+
+	m := e.model(e.Target, arrived[e.Target].cost, arrived[e.Target].tuples)
+	// Other stages still advance their backlog models so multi-stage
+	// pipelines throttle realistically.
+	for si := range e.Stages {
+		if si != e.Target {
+			e.model(si, arrived[si].cost, arrived[si].tuples)
+		}
+	}
+	m.Index = e.interval
+	m.Emitted = emitN
+	if reb != nil && reb.Plan != nil {
+		m.Rebalanced = true
+		m.PlanMs = float64(reb.Plan.GenTime.Microseconds()) / 1000
+		m.TableSize = reb.Plan.TableSize()
+		if liveState > 0 {
+			m.MigrationPct = 100 * float64(reb.Moved) / float64(liveState)
+		}
+	}
+	e.Recorder.Add(m)
+
+	e.interval++
+	if e.AdvanceWorkload != nil {
+		e.AdvanceWorkload(e.interval)
+	}
+}
+
+// model advances stage si's queueing model for one interval and
+// returns the interval metrics (throughput, latency, skewness).
+func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
+	s := e.Stages[si]
+	// The controller hook may have scaled the stage out after arrivals
+	// were captured; new instances simply had zero arrivals.
+	for len(cost) < s.Instances() {
+		cost = append(cost, 0)
+		tuples = append(tuples, 0)
+	}
+	cap64 := e.capacity[si]
+	var thr float64
+	var latSum, latW float64
+	for d := 0; d < s.Instances(); d++ {
+		offeredC := s.Backlog[d] + cost[d]
+		offeredT := e.backlogT[si][d] + tuples[d]
+		eff := cap64 - int64(e.Cfg.MigrationFactor*float64(s.MigPenalty[d]))
+		if eff < 0 {
+			eff = 0
+		}
+		processedC := offeredC
+		if processedC > eff {
+			processedC = eff
+		}
+		var processedT int64
+		if offeredC > 0 {
+			processedT = int64(float64(offeredT) * float64(processedC) / float64(offeredC))
+		}
+		newBacklogC := offeredC - processedC
+		newBacklogT := offeredT - processedT
+		// Latency: average queueing delay over the interval plus the
+		// service time of one tuple, in ms of the 1-second interval.
+		avgQ := float64(s.Backlog[d]+newBacklogC) / 2
+		var lat float64
+		if cap64 > 0 {
+			lat = 1000 * avgQ / float64(cap64)
+			if offeredT > 0 {
+				lat += 1000 * (float64(offeredC) / float64(offeredT)) / float64(cap64)
+			}
+		}
+		lat += e.Cfg.LatencyFloorMs
+		latSum += lat * float64(tuples[d])
+		latW += float64(tuples[d])
+		thr += float64(processedT)
+		s.Backlog[d] = newBacklogC
+		e.backlogT[si][d] = newBacklogT
+		s.MigPenalty[d] = 0
+	}
+	var m metrics.Interval
+	m.Throughput = thr
+	if latW > 0 {
+		m.LatencyMs = latSum / latW
+	}
+	m.Skewness = stats.Skewness(cost)
+	m.MaxTheta = stats.MaxTheta(cost)
+	return m
+}
+
+// ScaleOutTarget adds an instance to the target stage and extends the
+// model's bookkeeping (Fig. 15 scenario). Capacity per task is kept
+// fixed: adding an instance adds headroom.
+func (e *Engine) ScaleOutTarget() int64 {
+	moved := e.Stages[e.Target].ScaleOut()
+	e.backlogT[e.Target] = append(e.backlogT[e.Target], 0)
+	return moved
+}
+
+// Stop terminates all stage goroutines.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, s := range e.Stages {
+		s.Stop()
+	}
+}

@@ -1,0 +1,79 @@
+// Package engine is the distributed-stream-processing substrate the
+// reproduced paper ran on Storm: operators parallelized into task
+// instances, key-partitioned edges, per-interval statistics reporting
+// and the pause/migrate/resume rebalance hooks of Fig. 5.
+//
+// Execution model. Every task instance is a goroutine consuming a
+// channel of messages (tuples or control thunks), exactly one goroutine
+// per instance, so operator state is goroutine-confined and lock-free.
+// Time is divided into logical intervals (the paper used 10 s): the
+// engine feeds each interval's tuples through the running tasks, then
+// runs a barrier, at which point statistics are harvested and the
+// controller may rebalance. Tuple routing, operator logic, state
+// accumulation and migration are all real; only *performance* (task
+// service capacity, queueing) is modelled in simulated cost units so
+// results are deterministic and hardware-independent (see DESIGN.md §6).
+package engine
+
+import (
+	"repro/internal/state"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// TaskCtx is the per-instance execution context handed to operators.
+type TaskCtx struct {
+	// ID is the task instance id within its operator (0..ND-1).
+	ID int
+	// Store is the instance's windowed state store.
+	Store *state.Store
+	// Tracker accumulates the per-key statistics the controller
+	// harvests at interval boundaries.
+	Tracker *stats.Tracker
+	// out gathers tuples emitted downstream during the interval.
+	out []tuple.Tuple
+	// ProcessedTuples and ProcessedCost account the work done this
+	// interval (reset at barriers).
+	ProcessedTuples int64
+	ProcessedCost   int64
+}
+
+// Emit sends a tuple to the next stage (collected at the interval
+// barrier and routed by the engine).
+func (c *TaskCtx) Emit(t tuple.Tuple) { c.out = append(c.out, t) }
+
+// Operator is the processing logic of one logical operator. Process
+// runs on the owning task's goroutine; implementations must not share
+// mutable state across instances except through ctx.Store.
+type Operator interface {
+	// Process handles one input tuple, optionally emitting downstream
+	// tuples and updating windowed state.
+	Process(ctx *TaskCtx, t tuple.Tuple)
+}
+
+// IntervalFlusher is an optional Operator extension: FlushInterval runs
+// on the task goroutine at the end of every interval, before statistics
+// harvest, and may Emit — the hook periodic emitters (partial-aggregate
+// operators like PKG's upstream half) use to publish per-interval
+// results downstream.
+type IntervalFlusher interface {
+	FlushInterval(ctx *TaskCtx)
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(ctx *TaskCtx, t tuple.Tuple)
+
+// Process implements Operator.
+func (f OperatorFunc) Process(ctx *TaskCtx, t tuple.Tuple) { f(ctx, t) }
+
+// Discard is an Operator that consumes tuples, charging their cost to
+// the task but keeping no state — a stand-in sink for routing-focused
+// experiments.
+var Discard Operator = OperatorFunc(func(ctx *TaskCtx, t tuple.Tuple) {})
+
+// StatefulCount is a minimal stateful Operator: it appends each tuple
+// to the key's windowed state (size = t.StateSize), so state volumes
+// and migration costs behave like the paper's word-count topology.
+var StatefulCount Operator = OperatorFunc(func(ctx *TaskCtx, t tuple.Tuple) {
+	ctx.Store.Add(t.Key, state.Entry{Value: t.Value, Size: t.StateSize})
+})

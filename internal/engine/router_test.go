@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pkgpart"
+	"repro/internal/tuple"
+)
+
+func TestRouterInstanceCounts(t *testing.T) {
+	if got := newAsgRouter(7).Instances(); got != 7 {
+		t.Fatalf("AssignmentRouter.Instances = %d", got)
+	}
+	if got := (PKGRouter{R: pkgpart.NewRouter(5)}).Instances(); got != 5 {
+		t.Fatalf("PKGRouter.Instances = %d", got)
+	}
+	if got := NewShuffleRouter(3).Instances(); got != 3 {
+		t.Fatalf("ShuffleRouter.Instances = %d", got)
+	}
+}
+
+func TestPKGRouterRoutesWithinRange(t *testing.T) {
+	r := PKGRouter{R: pkgpart.NewRouter(4)}
+	for i := 0; i < 200; i++ {
+		d := r.Route(tuple.New(tuple.Key(i%9), nil))
+		if d < 0 || d >= 4 {
+			t.Fatalf("PKG routed to %d", d)
+		}
+	}
+}
+
+func TestStageRouterAccessor(t *testing.T) {
+	r := NewShuffleRouter(2)
+	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, r)
+	defer st.Stop()
+	if st.Router() != Router(r) {
+		t.Fatal("Router accessor returned a different router")
+	}
+	if st.AssignmentRouter() != nil {
+		t.Fatal("shuffle stage claims an assignment router")
+	}
+}
+
+func TestEngineScaleOutTarget(t *testing.T) {
+	st := statefulStage(3, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 3000
+	var n uint64
+	e := New(func() tuple.Tuple {
+		n++
+		return tuple.New(tuple.Key(n%200), nil)
+	}, cfg, st)
+	defer e.Stop()
+	e.Run(2)
+	moved := e.ScaleOutTarget()
+	if st.Instances() != 4 {
+		t.Fatalf("instances = %d", st.Instances())
+	}
+	if moved == 0 {
+		t.Fatal("no state moved on engine-level scale-out")
+	}
+	// The model keeps working at the new width.
+	e.Run(2)
+	if e.Recorder.Len() != 4 {
+		t.Fatalf("recorded %d intervals", e.Recorder.Len())
+	}
+}

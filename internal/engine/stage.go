@@ -1,0 +1,364 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/balance"
+	"repro/internal/hashring"
+	"repro/internal/route"
+	"repro/internal/state"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Stage is one logical operator: ND task instances behind a Router.
+// The engine feeds tuples from a single goroutine; task goroutines
+// process them concurrently; barriers synchronize interval boundaries
+// and rebalance operations.
+type Stage struct {
+	Name   string
+	tasks  []*task
+	router Router
+	window int
+	opFn   func(id int) Operator // factory, kept for scale-out
+
+	// Pause/Resume protocol state (steps 3–7 of Fig. 5). paused keys
+	// have their tuples held upstream (cached locally in the paper)
+	// until migration completes. mu guards them so ApplyPlanLive can
+	// run from a controller goroutine concurrent with the feeder.
+	mu     sync.Mutex
+	paused map[tuple.Key]struct{}
+	held   []tuple.Tuple
+
+	// Per-interval arrival accounting (cost units / tuples per task),
+	// reset at EndInterval; feeds the performance model.
+	arrivedCost   []int64
+	arrivedTuples []int64
+
+	// Backlog is the queued-but-unprocessed cost carried across
+	// intervals by the performance model; MigPenalty is capacity
+	// consumed by state transfer in the next interval.
+	Backlog    []int64
+	MigPenalty []int64
+
+	stopped bool
+}
+
+// NewStage builds a stage with nd instances running op(id), a state
+// window of w intervals, and the given router.
+func NewStage(name string, nd int, op func(id int) Operator, w int, router Router) *Stage {
+	s := &Stage{
+		Name:          name,
+		router:        router,
+		window:        w,
+		opFn:          op,
+		paused:        make(map[tuple.Key]struct{}),
+		arrivedCost:   make([]int64, nd),
+		arrivedTuples: make([]int64, nd),
+		Backlog:       make([]int64, nd),
+		MigPenalty:    make([]int64, nd),
+	}
+	for i := 0; i < nd; i++ {
+		s.tasks = append(s.tasks, newTask(i, op(i), w))
+	}
+	return s
+}
+
+// Instances returns ND.
+func (s *Stage) Instances() int { return len(s.tasks) }
+
+// Router returns the stage's input router.
+func (s *Stage) Router() Router { return s.router }
+
+// AssignmentRouter returns the router as an *AssignmentRouter, or nil
+// when the stage uses a different scheme (PKG, shuffle).
+func (s *Stage) AssignmentRouter() *AssignmentRouter {
+	ar, _ := s.router.(*AssignmentRouter)
+	return ar
+}
+
+// Feed routes one tuple into the stage. Must be called from a single
+// feeding goroutine. Tuples for paused keys are held (the upstream
+// cache of Fig. 5 step 4) and delivered by Resume.
+func (s *Stage) Feed(t tuple.Tuple) {
+	s.mu.Lock()
+	if len(s.paused) > 0 {
+		if _, p := s.paused[t.Key]; p {
+			s.held = append(s.held, t)
+			s.mu.Unlock()
+			return
+		}
+	}
+	d := s.router.Route(t)
+	s.arrivedCost[d] += t.Cost
+	s.arrivedTuples[d]++
+	s.mu.Unlock()
+	// Channel send outside the lock: a full task queue must exert
+	// backpressure on the feeder without blocking pause/resume.
+	s.tasks[d].send(t)
+}
+
+// Barrier waits until every task has drained its queue.
+func (s *Stage) Barrier() {
+	for _, t := range s.tasks {
+		t.barrier(nil)
+	}
+}
+
+// FlushOps invokes FlushInterval on every task whose operator
+// implements engine.IntervalFlusher, on the task goroutine.
+func (s *Stage) FlushOps() {
+	for _, t := range s.tasks {
+		if f, ok := t.op.(IntervalFlusher); ok {
+			t.barrier(func(ctx *TaskCtx) { f.FlushInterval(ctx) })
+		}
+	}
+}
+
+// DrainEmitted collects and clears the tuples emitted downstream by all
+// tasks during this interval. Call after Barrier.
+func (s *Stage) DrainEmitted() []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, t := range s.tasks {
+		out = append(out, t.ctx.out...)
+		t.ctx.out = nil
+	}
+	return out
+}
+
+// ArrivedCost returns this interval's per-task arrived cost (valid
+// until EndInterval resets it).
+func (s *Stage) ArrivedCost() []int64 { return s.arrivedCost }
+
+// ArrivedTuples returns this interval's per-task arrived tuple counts.
+func (s *Stage) ArrivedTuples() []int64 { return s.arrivedTuples }
+
+// EndInterval closes the statistics interval on every task and merges
+// the per-task reports into a planner-ready snapshot (step 1 of Fig. 5:
+// instances report to the controller). Destinations are taken from the
+// task that actually observed the key; hash destinations from the
+// assignment router when present. Arrival accounting is reset.
+func (s *Stage) EndInterval(interval int64) *stats.Snapshot {
+	snap := &stats.Snapshot{Interval: interval, ND: len(s.tasks)}
+	ar := s.AssignmentRouter()
+	for d, t := range s.tasks {
+		var got map[tuple.Key]stats.KeyStat
+		t.barrier(func(ctx *TaskCtx) {
+			got = ctx.Tracker.EndInterval()
+			ctx.Store.EndInterval()
+			ctx.ProcessedTuples = 0
+			ctx.ProcessedCost = 0
+		})
+		for k, ks := range got {
+			ks.Key = k
+			ks.Dest = d
+			if ar != nil {
+				ks.Hash = ar.Assignment().HashDest(k)
+			} else {
+				ks.Hash = d
+			}
+			snap.Keys = append(snap.Keys, ks)
+		}
+	}
+	stats.SortByCostDesc(snap.Keys)
+	for d := range s.arrivedCost {
+		s.arrivedCost[d] = 0
+		s.arrivedTuples[d] = 0
+	}
+	return snap
+}
+
+// PauseKeys enters the pause phase for the given keys: subsequent Feed
+// calls hold their tuples upstream.
+func (s *Stage) PauseKeys(keys []tuple.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.paused[k] = struct{}{}
+	}
+}
+
+// Resume exits the pause phase and replays held tuples through the
+// (possibly new) assignment — step 7 of Fig. 5.
+func (s *Stage) Resume() {
+	s.mu.Lock()
+	s.paused = make(map[tuple.Key]struct{})
+	held := s.held
+	s.held = nil
+	s.mu.Unlock()
+	for _, t := range held {
+		s.Feed(t)
+	}
+}
+
+// ApplyPlanLive executes a rebalance plan while traffic is flowing:
+// the Fig. 5 sequence with per-key granularity and no global barrier.
+// Migrating keys pause (their tuples held upstream); each key's state
+// is extracted on the source task's goroutine and injected on the
+// destination's via control thunks, so unaffected keys keep processing
+// throughout — the paper's "no interruption of normal processing on
+// the data with keys not covered by Δ(F, F′)". Safe to call from a
+// goroutine other than the feeder.
+func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
+	}
+	s.PauseKeys(plan.Moved)
+	old := ar.Assignment()
+	var moved int64
+	for _, k := range plan.Moved {
+		src := old.Dest(k)
+		dst := plan.MoveDest[k]
+		if src == dst {
+			continue
+		}
+		// Extract on the source task's goroutine: channel FIFO means
+		// every tuple enqueued before the pause is processed first, so
+		// the extracted window is complete.
+		var m state.Migrated
+		var mem int64
+		s.tasks[src].barrier(func(ctx *TaskCtx) {
+			m = ctx.Store.Extract(k)
+			mem = ctx.Tracker.WindowedMem(k)
+			ctx.Tracker.DropKey(k)
+		})
+		s.tasks[dst].barrier(func(ctx *TaskCtx) {
+			if m.Size > 0 {
+				ctx.Store.Inject(m)
+			}
+			if mem > 0 {
+				ctx.Tracker.AdoptKey(k, mem)
+			}
+		})
+		s.mu.Lock()
+		s.MigPenalty[src] += m.Size
+		s.MigPenalty[dst] += m.Size
+		s.mu.Unlock()
+		moved += m.Size
+	}
+	ar.Swap(route.NewAssignment(plan.Table.Clone(), old.Hasher()))
+	s.Resume()
+	return moved
+}
+
+// ApplyPlan executes a rebalance plan against live state: pause the
+// migrating keys, move each key's windowed state and statistics from
+// its current owner to the planned destination, install the new routing
+// table, and resume. It returns the total state volume moved. Must be
+// called between Barrier/EndInterval and the next Feed.
+func (s *Stage) ApplyPlan(plan *balance.Plan) int64 {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
+	}
+	s.PauseKeys(plan.Moved)
+	old := ar.Assignment()
+	var moved int64
+	for _, k := range plan.Moved {
+		src := old.Dest(k)
+		dst := plan.MoveDest[k]
+		if src == dst {
+			continue
+		}
+		moved += s.migrateKey(k, src, dst)
+	}
+	ar.Swap(route.NewAssignment(plan.Table.Clone(), old.Hasher()))
+	s.Resume()
+	return moved
+}
+
+// migrateKey moves one key's state and tracker history from task src to
+// task dst, charging the transfer volume to both sides' migration
+// penalty (send + receive). Tasks are idle (post-barrier), so ctx
+// access is safe.
+func (s *Stage) migrateKey(k tuple.Key, src, dst int) int64 {
+	sc, dc := s.tasks[src].ctx, s.tasks[dst].ctx
+	m := sc.Store.Extract(k)
+	mem := sc.Tracker.WindowedMem(k)
+	sc.Tracker.DropKey(k)
+	if m.Size > 0 {
+		dc.Store.Inject(m)
+	}
+	if mem > 0 {
+		dc.Tracker.AdoptKey(k, mem)
+	}
+	s.MigPenalty[src] += m.Size
+	s.MigPenalty[dst] += m.Size
+	return m.Size
+}
+
+// LiveKeys returns the union of keys holding state on any task.
+func (s *Stage) LiveKeys() []tuple.Key {
+	seen := make(map[tuple.Key]struct{})
+	var out []tuple.Key
+	for _, t := range s.tasks {
+		for _, k := range t.ctx.Store.Keys() {
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// ScaleOut adds one task instance and regrows the consistent-hash
+// ring. Keys whose overall destination F(k) changes under the new ring
+// have their state migrated immediately so processing stays correct;
+// rebalancing toward θmax is then the controller's job on subsequent
+// intervals (the Fig. 15 scenario). Returns the migrated volume.
+func (s *Stage) ScaleOut() int64 {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		panic("engine: ScaleOut requires an assignment router")
+	}
+	old := ar.Assignment()
+	ring, ok := old.Hasher().(*hashring.Ring)
+	if !ok {
+		panic("engine: ScaleOut requires a consistent-hash ring hasher")
+	}
+	newHash := ring.Grow()
+
+	id := len(s.tasks)
+	s.tasks = append(s.tasks, newTask(id, s.opFn(id), s.window))
+	s.arrivedCost = append(s.arrivedCost, 0)
+	s.arrivedTuples = append(s.arrivedTuples, 0)
+	s.Backlog = append(s.Backlog, 0)
+	s.MigPenalty = append(s.MigPenalty, 0)
+
+	// Keep the old routing table; recompute destinations under the new
+	// hash and migrate keys whose effective destination moved.
+	newAsg := route.NewAssignment(old.Table().Clone(), newHash)
+	var moved int64
+	for _, k := range s.LiveKeys() {
+		from := old.Dest(k)
+		to := newAsg.Dest(k)
+		if from != to {
+			moved += s.migrateKey(k, from, to)
+		}
+	}
+	ar.Swap(newAsg)
+	return moved
+}
+
+// Stop terminates all task goroutines (for tests and example
+// teardown). Safe to call more than once.
+func (s *Stage) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, t := range s.tasks {
+		t.stop()
+	}
+}
+
+// StoreOf returns task d's state store. Only safe while tasks are idle
+// (between a barrier and the next Feed).
+func (s *Stage) StoreOf(d int) *state.Store { return s.tasks[d].ctx.Store }
+
+// CtxOf returns task d's execution context, for tests and examples that
+// inspect operator state at barriers.
+func (s *Stage) CtxOf(d int) *TaskCtx { return s.tasks[d].ctx }

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/route"
+	"repro/internal/tuple"
+)
+
+// Second round of engine coverage: flush hooks, model edges, guard
+// paths and idempotent teardown.
+
+type flushOp struct {
+	flushed int
+}
+
+func (f *flushOp) Process(ctx *TaskCtx, t tuple.Tuple) {}
+func (f *flushOp) FlushInterval(ctx *TaskCtx) {
+	f.flushed++
+	ctx.Emit(tuple.New(99, "flush"))
+}
+
+func TestFlushOpsRunsOnIntervalFlushers(t *testing.T) {
+	op := &flushOp{}
+	st := NewStage("f", 1, func(int) Operator { return op }, 1, newAsgRouter(1))
+	defer st.Stop()
+	st.Feed(tuple.New(1, nil))
+	st.Barrier()
+	st.FlushOps()
+	if op.flushed != 1 {
+		t.Fatalf("flushed %d times, want 1", op.flushed)
+	}
+	out := st.DrainEmitted()
+	if len(out) != 1 || out[0].Key != 99 {
+		t.Fatalf("flush emission lost: %v", out)
+	}
+}
+
+func TestFlushOpsSkipsPlainOperators(t *testing.T) {
+	st := NewStage("p", 1, func(int) Operator { return Discard }, 1, newAsgRouter(1))
+	defer st.Stop()
+	st.FlushOps() // must not panic or emit
+	if out := st.DrainEmitted(); len(out) != 0 {
+		t.Fatalf("plain operator emitted %d tuples on flush", len(out))
+	}
+}
+
+func TestStageStopIdempotent(t *testing.T) {
+	st := statefulStage(2, 1)
+	st.Stop()
+	st.Stop() // second call must be a no-op, not a close-panic
+}
+
+func TestEngineStopIdempotent(t *testing.T) {
+	e := New(func() tuple.Tuple { return tuple.New(1, nil) }, DefaultConfig(), statefulStage(1, 1))
+	e.Stop()
+	e.Stop()
+}
+
+func TestRunIntervalAfterStopPanics(t *testing.T) {
+	e := New(func() tuple.Tuple { return tuple.New(1, nil) }, DefaultConfig(), statefulStage(1, 1))
+	e.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunInterval after Stop did not panic")
+		}
+	}()
+	e.RunInterval()
+}
+
+func TestApplyPlanWithoutAssignmentRouterPanics(t *testing.T) {
+	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, NewShuffleRouter(2))
+	defer st.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplyPlan on shuffle stage did not panic")
+		}
+	}()
+	st.ApplyPlan(nil)
+}
+
+func TestScaleOutWithoutRingPanics(t *testing.T) {
+	// An assignment router over a non-ring hasher cannot grow.
+	r := NewAssignmentRouter(route.NewAssignment(route.NewTable(), route.ModHasher(2)))
+	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, r)
+	defer st.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaleOut without a ring did not panic")
+		}
+	}()
+	st.ScaleOut()
+}
+
+func TestThrottleFloor(t *testing.T) {
+	// A hopelessly overloaded single instance: emission must throttle
+	// but never below 10% of the budget.
+	st := statefulStage(2, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 1000
+	e := New(func() tuple.Tuple { return tuple.New(7, nil) }, cfg, st)
+	defer e.Stop()
+	e.Run(20)
+	last := e.Recorder.Series[19]
+	if last.Emitted >= 1000 {
+		t.Fatal("spout never throttled")
+	}
+	if last.Emitted < 100 {
+		t.Fatalf("throttle floor breached: emitted %d", last.Emitted)
+	}
+}
+
+func TestLatencyGrowsWithBacklog(t *testing.T) {
+	st := statefulStage(2, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 1000
+	e := New(func() tuple.Tuple { return tuple.New(7, nil) }, cfg, st)
+	defer e.Stop()
+	e.Run(2)
+	if e.Recorder.Series[1].LatencyMs <= e.Recorder.Series[0].LatencyMs {
+		t.Fatalf("latency did not grow with backlog: %v then %v",
+			e.Recorder.Series[0].LatencyMs, e.Recorder.Series[1].LatencyMs)
+	}
+}
+
+func TestMigrationPenaltyConsumesCapacityOnce(t *testing.T) {
+	st := statefulStage(2, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 1000
+	cfg.MigrationFactor = 1
+	e := New(func() tuple.Tuple { return tuple.New(tuple.Key(len(st.Backlog)), nil) }, cfg, st)
+	defer e.Stop()
+	st.MigPenalty[0] = 100
+	e.RunInterval()
+	if st.MigPenalty[0] != 0 {
+		t.Fatal("migration penalty not reset after being charged")
+	}
+}
+
+func TestCapacityAccessors(t *testing.T) {
+	st := statefulStage(4, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 4000
+	e := New(func() tuple.Tuple { return tuple.New(1, nil) }, cfg, st)
+	defer e.Stop()
+	if got := e.CapacityOf(0); got != 1000 {
+		t.Fatalf("CapacityOf = %d, want saturation 1000", got)
+	}
+	e.RunInterval()
+	if e.LastEmitted() != 4000 {
+		t.Fatalf("LastEmitted = %d", e.LastEmitted())
+	}
+	if e.Interval() != 1 {
+		t.Fatalf("Interval = %d", e.Interval())
+	}
+}
+
+func TestExplicitCapacityOverride(t *testing.T) {
+	st := statefulStage(4, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 4000
+	cfg.Capacity = 99
+	e := New(func() tuple.Tuple { return tuple.New(1, nil) }, cfg, st)
+	defer e.Stop()
+	if got := e.CapacityOf(0); got != 99 {
+		t.Fatalf("CapacityOf = %d, want explicit 99", got)
+	}
+}
+
+func TestLastSnapshotsExposed(t *testing.T) {
+	st := statefulStage(2, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 100
+	e := New(func() tuple.Tuple { return tuple.New(5, nil) }, cfg, st)
+	defer e.Stop()
+	e.RunInterval()
+	snaps := e.LastSnapshots()
+	if len(snaps) != 1 || len(snaps[0].Keys) != 1 || snaps[0].Keys[0].Key != 5 {
+		t.Fatalf("LastSnapshots = %+v", snaps)
+	}
+}
+
+func TestAdvanceWorkloadCalledPerInterval(t *testing.T) {
+	st := statefulStage(1, 1)
+	cfg := DefaultConfig()
+	cfg.Budget = 10
+	e := New(func() tuple.Tuple { return tuple.New(1, nil) }, cfg, st)
+	defer e.Stop()
+	var calls []int64
+	e.AdvanceWorkload = func(i int64) { calls = append(calls, i) }
+	e.Run(3)
+	if len(calls) != 3 || calls[0] != 1 || calls[2] != 3 {
+		t.Fatalf("AdvanceWorkload calls = %v", calls)
+	}
+}
+
+func TestShuffleRouterRoundRobin(t *testing.T) {
+	r := NewShuffleRouter(3)
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		counts[r.Route(tuple.New(7, nil))]++
+	}
+	for d, c := range counts {
+		if c != 100 {
+			t.Fatalf("shuffle instance %d got %d of 300", d, c)
+		}
+	}
+}
+
+func TestAssignmentRouterSwap(t *testing.T) {
+	ar := newAsgRouter(2)
+	old := ar.Assignment()
+	tab := route.NewTable()
+	tab.Put(5, 1)
+	ar.Swap(route.NewAssignment(tab, old.Hasher()))
+	if ar.Route(tuple.New(5, nil)) != 1 {
+		t.Fatal("swapped assignment not in effect")
+	}
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/state"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// message is the unit of the task actor protocol: either a tuple to
+// process or a control thunk to execute on the task goroutine. Control
+// thunks with a done channel double as barriers: because the input
+// channel is FIFO, acknowledging the thunk proves every earlier tuple
+// has been fully processed.
+type message struct {
+	t    tuple.Tuple
+	ctrl func(*TaskCtx)
+	done chan struct{}
+}
+
+// task is one running instance: a goroutine draining its input channel.
+type task struct {
+	id  int
+	in  chan message
+	ctx *TaskCtx
+	op  Operator
+	wg  sync.WaitGroup
+}
+
+// taskQueueDepth sizes each instance's input channel. Deep enough that
+// the feeding loop rarely blocks within an interval, small enough to
+// exercise real channel backpressure under pathological skew.
+const taskQueueDepth = 4096
+
+func newTask(id int, op Operator, window int) *task {
+	t := &task{
+		id: id,
+		in: make(chan message, taskQueueDepth),
+		op: op,
+		ctx: &TaskCtx{
+			ID:      id,
+			Store:   state.NewStore(window),
+			Tracker: stats.NewTracker(window),
+		},
+	}
+	t.wg.Add(1)
+	go t.loop()
+	return t
+}
+
+func (t *task) loop() {
+	defer t.wg.Done()
+	for m := range t.in {
+		if m.ctrl != nil {
+			m.ctrl(t.ctx)
+			if m.done != nil {
+				close(m.done)
+			}
+			continue
+		}
+		t.op.Process(t.ctx, m.t)
+		t.ctx.Tracker.Observe(m.t)
+		t.ctx.ProcessedTuples++
+		t.ctx.ProcessedCost += m.t.Cost
+	}
+}
+
+// send enqueues a tuple.
+func (t *task) send(tp tuple.Tuple) { t.in <- message{t: tp} }
+
+// barrier runs fn on the task goroutine and waits for it; fn == nil is
+// a pure drain barrier. After barrier returns, the caller may touch
+// the task's ctx directly until it sends the next message (the channel
+// handoff gives the necessary happens-before edges).
+func (t *task) barrier(fn func(*TaskCtx)) {
+	if fn == nil {
+		fn = func(*TaskCtx) {}
+	}
+	done := make(chan struct{})
+	t.in <- message{ctrl: fn, done: done}
+	<-done
+}
+
+// stop closes the input channel and waits for the goroutine to exit.
+func (t *task) stop() {
+	close(t.in)
+	t.wg.Wait()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/balance"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Fig01 recreates the paper's motivating example (Fig. 1): a
+// three-operator pipeline where the middle operator's *internal*
+// imbalance throttles the whole topology. Operator 1 (a balanced,
+// shuffled map) is forced to slow down by backpressure from operator
+// 2's hottest instance, and operator 3 starves — even though every
+// *operator* has enough aggregate capacity. Keeping task instances
+// balanced inside operator 2 (Mixed) releases the pipeline.
+func Fig01() *Result {
+	r := &Result{
+		ID:     "fig01",
+		Title:  "Motivating example: intra-operator imbalance backpressures the pipeline",
+		Header: []string{"op2 scheme", "spout emitted/s", "op2 throughput/s", "op3 received/s"},
+		Notes:  "hash skew inside operator 2 throttles operator 1 (backpushing) and starves operator 3",
+	}
+	const budget = 9000
+	for _, alg := range []core.Algorithm{core.AlgStorm, core.AlgMixed, core.AlgIdeal} {
+		emitted, thr, sunk := runPipeline(alg, budget)
+		r.Rows = append(r.Rows, []string{string(alg), f0(emitted), f0(thr), f0(sunk)})
+	}
+	return r
+}
+
+// sinkCounter counts tuples reaching operator 3. The counter is shared
+// by all sink instances, hence atomic.
+type sinkCounter struct{ n *atomic.Int64 }
+
+func (s sinkCounter) Process(ctx *engine.TaskCtx, t tuple.Tuple) { s.n.Add(1) }
+
+func runPipeline(alg core.Algorithm, budget int64) (emitted, thr, sunk float64) {
+	gen := workload.NewZipfStream(300, 1.0, 0.5, budget, 67)
+
+	// Operator 1: balanced pass-through map (shuffle-routed).
+	mapOp := func(int) engine.Operator {
+		return engine.OperatorFunc(func(ctx *engine.TaskCtx, t tuple.Tuple) {
+			out := t
+			ctx.Emit(out)
+		})
+	}
+	s0 := engine.NewStage("op1-map", 3, mapOp, 1, engine.NewShuffleRouter(3))
+
+	// Operator 2: the keyed, skew-prone stage under study.
+	// Six instances over 300 keys: the hottest keys carry a full
+	// instance's share each, the regime of Fig. 7(b).
+	const op2ND = 6
+	var router engine.Router
+	switch alg {
+	case core.AlgIdeal:
+		router = engine.NewShuffleRouter(op2ND)
+	default:
+		router = engine.NewAssignmentRouter(core.NewAssignment(op2ND))
+	}
+	countAndForward := func(int) engine.Operator {
+		return engine.OperatorFunc(func(ctx *engine.TaskCtx, t tuple.Tuple) {
+			ctx.Emit(tuple.New(t.Key, nil))
+		})
+	}
+	s1 := engine.NewStage("op2-keyed", op2ND, countAndForward, 1, router)
+
+	// Operator 3: sink counting arrivals.
+	var sinkN atomic.Int64
+	s2 := engine.NewStage("op3-sink", 3, func(int) engine.Operator {
+		return sinkCounter{&sinkN}
+	}, 1, engine.NewShuffleRouter(3))
+
+	cfg := engine.DefaultConfig()
+	cfg.Budget = budget
+	e := engine.New(gen.Next, cfg, s0, s1, s2)
+	defer e.Stop()
+	e.Target = 1 // operator 2 drives the backpressure and the metrics
+	if alg == core.AlgMixed {
+		ctl := controller.New(balance.Mixed{}, defCfg())
+		ctl.MinKeys = 16
+		e.OnSnapshot = ctl.Hook()
+	}
+	if ar := s1.AssignmentRouter(); ar != nil {
+		e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	}
+
+	const intervals = 16
+	e.Run(intervals)
+	var em, th float64
+	for _, m := range e.Recorder.Series[4:] {
+		em += float64(m.Emitted)
+		th += m.Throughput
+	}
+	n := float64(intervals - 4)
+	return em / n, th / n, float64(sinkN.Load()) / float64(intervals)
+}

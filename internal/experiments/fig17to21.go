@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+)
+
+// Appendix figures: sensitivity of migration cost and routing-table
+// size to the table bound N_A, the adjustment count, the state window w
+// and the migration-selection factor β.
+
+// Fig17 regenerates appendix Fig. 17: Mixed's migration cost as the
+// routing-table bound N_A = 2^i varies, for several θmax.
+func Fig17() *Result {
+	r := &Result{
+		ID:     "fig17",
+		Title:  "Mixed migration cost vs routing-table bound N_A (=2^i)",
+		Header: []string{"N_A", "mig% th=0.02", "mig% th=0.08", "mig% th=0.15", "mig% th=0.30"},
+		Notes:  "tight N_A forces cleaning (MinTable-like, expensive); relaxed N_A lets Mixed migrate minimally",
+	}
+	for i := 1; i <= 13; i += 2 {
+		na := 1 << i
+		row := []string{fmt.Sprint(na)}
+		for _, th := range []float64{0.02, 0.08, 0.15, 0.30} {
+			cfg := balance.Config{ThetaMax: th, TableMax: na, Beta: defBeta}
+			pm := sweepPoint(balance.Mixed{}, cfg, defK, defND, 1, defF, 29)
+			row = append(row, f2(pm.MigPct))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Fig18 regenerates appendix Fig. 18: MinMig's routing-table growth
+// over repeated adjustments (K = 1e4 as in the paper), converging
+// toward (N_D−1)/N_D · K.
+func Fig18() *Result {
+	const k = 10000
+	r := &Result{
+		ID:     "fig18",
+		Title:  "MinMig routing-table size vs number of adjustments (K=1e4)",
+		Header: []string{"adjustments", "table th=0.02", "table th=0.08", "table th=0.15", "table th=0.30"},
+		Notes: fmt.Sprintf("converges toward (N_D-1)/N_D*K = %d; smaller theta grows faster",
+			(defND-1)*k/defND),
+	}
+	thetas := []float64{0.02, 0.08, 0.15, 0.30}
+	sims := make([]*planSim, len(thetas))
+	for i := range thetas {
+		sims[i] = newPlanSim(k, defZ, defF, defND, 1, 31)
+	}
+	adjusted := 0
+	for _, checkpoint := range []int{1, 4, 16, 64, 256, 1024} {
+		row := []string{fmt.Sprint(checkpoint)}
+		for i, th := range thetas {
+			cfg := balance.Config{ThetaMax: th, Beta: defBeta} // unbounded table
+			pm := runPlanner(sims[i], balance.MinMig{}, cfg, checkpoint-adjusted)
+			row = append(row, fmt.Sprint(pm.Table))
+		}
+		adjusted = checkpoint
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Fig19 regenerates appendix Fig. 19: migration cost vs window size w.
+func Fig19() *Result {
+	r := &Result{
+		ID:     "fig19",
+		Title:  "Migration cost vs state window w",
+		Header: []string{"w", "Mixed mig%", "MinTable mig%"},
+		Notes:  "longer windows widen the candidate pool, so Mixed migrates less; MinTable stays expensive",
+	}
+	for _, w := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
+		mx := sweepPoint(balance.Mixed{}, defCfg(), defK, defND, w, defF, 37)
+		mt := sweepPoint(balance.MinTable{}, defCfg(), defK, defND, w, defF, 37)
+		r.Rows = append(r.Rows, []string{fmt.Sprint(w), f2(mx.MigPct), f2(mt.MigPct)})
+	}
+	return r
+}
+
+// betaSweep runs MinMig over 10 adjustments at one β across θmax
+// settings, reporting table size and migration cost — the harness
+// behind appendix Figs. 20 and 21.
+func betaSweep(beta float64) (tables []int, migs []float64) {
+	for _, th := range []float64{0.02, 0.08, 0.15, 0.30} {
+		cfg := balance.Config{ThetaMax: th, Beta: beta}
+		sim := newPlanSim(defK, defZ, defF, defND, 1, 41)
+		pm := runPlanner(sim, balance.MinMig{}, cfg, 10)
+		tables = append(tables, pm.Table)
+		migs = append(migs, pm.MigPct)
+	}
+	return
+}
+
+var betaLadder = []float64{1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0}
+
+// Fig20 regenerates appendix Fig. 20: routing-table size vs β.
+func Fig20() *Result {
+	r := &Result{
+		ID:     "fig20",
+		Title:  "MinMig routing-table size vs beta (10 adjustments)",
+		Header: []string{"beta", "table th=0.02", "table th=0.08", "table th=0.15", "table th=0.30"},
+		Notes:  "larger beta migrates big-load keys → smaller tables, flattening past ~1.5",
+	}
+	for _, b := range betaLadder {
+		tables, _ := betaSweep(b)
+		row := []string{fmt.Sprintf("%.1f", b)}
+		for _, t := range tables {
+			row = append(row, fmt.Sprint(t))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// Fig21 regenerates appendix Fig. 21: migration cost vs β.
+func Fig21() *Result {
+	r := &Result{
+		ID:     "fig21",
+		Title:  "MinMig migration cost vs beta (10 adjustments)",
+		Header: []string{"beta", "mig% th=0.02", "mig% th=0.08", "mig% th=0.15", "mig% th=0.30"},
+		Notes:  "beta trades migration volume against table size; paper settles on 1.5",
+	}
+	for _, b := range betaLadder {
+		_, migs := betaSweep(b)
+		row := []string{fmt.Sprintf("%.1f", b)}
+		for _, m := range migs {
+			row = append(row, f2(m))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}

@@ -1,0 +1,22 @@
+package hashring
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func BenchmarkHash(b *testing.B) {
+	r := New(10, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Hash(tuple.Key(i))
+	}
+}
+
+func BenchmarkNewRing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(40, 0)
+	}
+}

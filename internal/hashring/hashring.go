@@ -1,0 +1,100 @@
+// Package hashring implements consistent hashing over task instances,
+// the universal hash function h : K → D the paper assumes as the default
+// key assignment (§II-A, citing Karger et al. [14]).
+//
+// The ring places VirtualNodes replicas of every instance on a 64-bit
+// circle; a key is owned by the first replica clockwise from the key's
+// hash point. Consistent hashing matters for the paper's scale-out
+// experiment (Fig. 15): when an instance is added, only ~1/ND of the
+// keys change their default destination, so the routing table does not
+// have to absorb a full reshuffle.
+package hashring
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// DefaultVirtualNodes is the replica count per instance. 128 keeps the
+// max/min ownership ratio within a few percent for ND ≤ 64 while the
+// ring stays small enough that rebuilds are cheap.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over instance IDs 0..n-1.
+// Instances are dense integers because the paper's D is a fixed set of
+// task instances inside one operator. The zero value is unusable; build
+// rings with New.
+type Ring struct {
+	points   []point
+	n        int
+	replicas int
+}
+
+type point struct {
+	hash uint64
+	inst int
+}
+
+// New builds a ring over n instances with the given number of virtual
+// nodes per instance. n must be positive; replicas ≤ 0 selects
+// DefaultVirtualNodes.
+func New(n, replicas int) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("hashring: non-positive instance count %d", n))
+	}
+	if replicas <= 0 {
+		replicas = DefaultVirtualNodes
+	}
+	r := &Ring{n: n, replicas: replicas}
+	r.points = make([]point, 0, n*replicas)
+	for inst := 0; inst < n; inst++ {
+		for v := 0; v < replicas; v++ {
+			// Domain-separate point hashes from key hashes (Hash uses
+			// mix(k) directly): without the double mix, instance 0's
+			// points would be mix(v), colliding with the hash positions
+			// of the small integer keys synthetic workloads use.
+			h := mix(mix(uint64(inst)+1) ^ (uint64(v) + 0x9e3779b97f4a7c15))
+			r.points = append(r.points, point{hash: h, inst: inst})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].inst < r.points[j].inst
+	})
+	return r
+}
+
+// Grow returns a new ring with one more instance, leaving r untouched.
+// Existing instances keep their virtual-node positions, so only keys
+// falling into the new instance's arcs move — the property the
+// scale-out experiment relies on.
+func (r *Ring) Grow() *Ring {
+	return New(r.n+1, r.replicas)
+}
+
+// Instances returns the number of instances on the ring.
+func (r *Ring) Instances() int { return r.n }
+
+// Hash returns the default destination instance for key k.
+func (r *Ring) Hash(k tuple.Key) int {
+	h := mix(uint64(k))
+	// Binary search for the first point with hash ≥ h, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].inst
+}
+
+// mix is a 64-bit finalizer (splitmix64) giving a well-distributed
+// position on the circle for sequential integer inputs.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

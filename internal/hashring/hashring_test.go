@@ -1,0 +1,105 @@
+package hashring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestHashInRange(t *testing.T) {
+	r := New(10, 0)
+	f := func(k uint64) bool {
+		d := r.Hash(tuple.Key(k))
+		return d >= 0 && d < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a, b := New(7, 0), New(7, 0)
+	for k := tuple.Key(0); k < 1000; k++ {
+		if a.Hash(k) != b.Hash(k) {
+			t.Fatalf("rings disagree on key %d", k)
+		}
+	}
+}
+
+func TestBalanceAcrossInstances(t *testing.T) {
+	// With many uniform keys, per-instance ownership should be within
+	// a reasonable band of the average.
+	const nd, keys = 8, 100000
+	r := New(nd, 0)
+	counts := make([]int, nd)
+	for k := 0; k < keys; k++ {
+		counts[r.Hash(tuple.Key(k))]++
+	}
+	avg := keys / nd
+	for d, c := range counts {
+		if c < avg/2 || c > avg*2 {
+			t.Fatalf("instance %d owns %d keys, avg %d: ring too unbalanced", d, c, avg)
+		}
+	}
+}
+
+func TestGrowMovesOnlyFraction(t *testing.T) {
+	// Consistent hashing's defining property: adding one instance moves
+	// roughly 1/(n+1) of the keys, far from a full reshuffle.
+	const keys = 50000
+	old := New(10, 0)
+	grown := old.Grow()
+	if grown.Instances() != 11 {
+		t.Fatalf("Grow gave %d instances, want 11", grown.Instances())
+	}
+	moved := 0
+	for k := 0; k < keys; k++ {
+		if old.Hash(tuple.Key(k)) != grown.Hash(tuple.Key(k)) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.2 {
+		t.Fatalf("Grow moved %.1f%% of keys; consistent hashing should move ~%.1f%%",
+			100*frac, 100.0/11)
+	}
+	if moved == 0 {
+		t.Fatal("Grow moved no keys at all")
+	}
+	// Keys that moved must have moved to the new instance.
+	for k := 0; k < keys; k++ {
+		o, g := old.Hash(tuple.Key(k)), grown.Hash(tuple.Key(k))
+		if o != g && g != 10 {
+			t.Fatalf("key %d moved %d→%d, but only instance 10 is new", k, o, g)
+		}
+	}
+}
+
+func TestSingleInstance(t *testing.T) {
+	r := New(1, 0)
+	for k := tuple.Key(0); k < 100; k++ {
+		if r.Hash(k) != 0 {
+			t.Fatal("single-instance ring must map everything to 0")
+		}
+	}
+}
+
+func TestNewPanicsOnZeroInstances(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, _) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestCustomReplicas(t *testing.T) {
+	r := New(3, 16)
+	if r.replicas != 16 {
+		t.Fatalf("replicas = %d, want 16", r.replicas)
+	}
+	if len(r.points) != 3*16 {
+		t.Fatalf("points = %d, want 48", len(r.points))
+	}
+}

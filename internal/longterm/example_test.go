@@ -1,0 +1,27 @@
+package longterm_test
+
+import (
+	"fmt"
+
+	"repro/internal/longterm"
+)
+
+// ExampleDetector shows the short-vs-long-term discrimination: a brief
+// spike is ignored, a sustained shift triggers a scale-out.
+func ExampleDetector() {
+	d := longterm.NewDetector()
+	// A two-interval spike inside steady traffic: no action.
+	for _, load := range []int64{800, 800, 1500, 1500, 800, 800} {
+		if act := d.Observe(load, 1000); act != longterm.Hold {
+			fmt.Println("spike triggered", act)
+		}
+	}
+	// A sustained shift eventually fires.
+	for i := 0; i < 30; i++ {
+		if act := d.Observe(1400, 1000); act == longterm.ScaleOut {
+			fmt.Println("sustained shift:", act)
+			break
+		}
+	}
+	// Output: sustained shift: scale-out
+}

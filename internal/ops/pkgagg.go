@@ -1,0 +1,108 @@
+package ops
+
+import (
+	"repro/internal/engine"
+	"repro/internal/pkgpart"
+	"repro/internal/tuple"
+)
+
+// This file implements the split-key aggregation pair PKG requires
+// (Fig. 2(a) of the paper): an upstream partial-count operator whose
+// keys may be split across two instances, and a downstream merge
+// operator that recombines partials per key. The merge traffic and
+// merge work are the overhead the paper charges PKG for in Fig. 14.
+
+// PartialCount accumulates per-key counts locally and publishes
+// (key, partial) tuples downstream at every interval flush — the
+// period-p partial-result emission of the PKG implementation.
+type PartialCount struct {
+	partial map[tuple.Key]int64
+	// Published counts total partial tuples emitted, a proxy for the
+	// coordination traffic.
+	Published int64
+}
+
+// NewPartialCount builds one instance's operator.
+func NewPartialCount() *PartialCount {
+	return &PartialCount{partial: make(map[tuple.Key]int64)}
+}
+
+// Process implements engine.Operator.
+func (p *PartialCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
+	p.partial[t.Key]++
+}
+
+// FlushInterval implements engine.IntervalFlusher: emit one partial per
+// touched key, then reset.
+func (p *PartialCount) FlushInterval(ctx *engine.TaskCtx) {
+	for k, v := range p.partial {
+		out := tuple.New(k, v)
+		out.Stream = "partial"
+		ctx.Emit(out)
+		p.Published++
+		delete(p.partial, k)
+	}
+}
+
+// PartialCountFleet tracks instances.
+type PartialCountFleet struct {
+	Instances map[int]*PartialCount
+}
+
+// NewPartialCountFleet returns an empty fleet.
+func NewPartialCountFleet() *PartialCountFleet {
+	return &PartialCountFleet{Instances: make(map[int]*PartialCount)}
+}
+
+// Factory is the stage's operator factory.
+func (f *PartialCountFleet) Factory(id int) engine.Operator {
+	op := NewPartialCount()
+	f.Instances[id] = op
+	return op
+}
+
+// MergeCount is the downstream merge operator: it folds partial counts
+// into the authoritative per-key totals via pkgpart.Merger.
+type MergeCount struct {
+	M *pkgpart.Merger
+}
+
+// NewMergeCount builds one instance's operator.
+func NewMergeCount() *MergeCount { return &MergeCount{M: pkgpart.NewMerger()} }
+
+// Process implements engine.Operator.
+func (m *MergeCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
+	v, _ := t.Value.(int64)
+	m.M.Add(t.Key, v)
+}
+
+// FlushInterval implements engine.IntervalFlusher (period-p merge).
+func (m *MergeCount) FlushInterval(ctx *engine.TaskCtx) {
+	m.M.Flush()
+}
+
+// MergeCountFleet tracks instances.
+type MergeCountFleet struct {
+	Instances map[int]*MergeCount
+}
+
+// NewMergeCountFleet returns an empty fleet.
+func NewMergeCountFleet() *MergeCountFleet {
+	return &MergeCountFleet{Instances: make(map[int]*MergeCount)}
+}
+
+// Factory is the stage's operator factory.
+func (f *MergeCountFleet) Factory(id int) engine.Operator {
+	op := NewMergeCount()
+	f.Instances[id] = op
+	return op
+}
+
+// TotalCount sums a key's merged count across merge instances.
+func (f *MergeCountFleet) TotalCount(k tuple.Key) int64 {
+	var s int64
+	for _, op := range f.Instances {
+		s += op.M.Result(k)
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package ops
+
+import (
+	"repro/internal/engine"
+	"repro/internal/state"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// This file implements the continuous TPC-H Q5 pipeline of §V: a
+// windowed equi-join of the orders and lineitem fact streams on
+// orderkey (the skewed, stateful operator the rebalancer manages),
+// followed by dimension lookups (customer→nation, supplier→nation),
+// the region filter, and a revenue aggregation grouped by nation.
+
+// Q5Join is the stage-0 operator: buffer both streams per orderkey in
+// the sliding window; every order×lineitem pair within the window with
+// matching orderkey joins. Joined rows that survive the region filter
+// are emitted keyed by nation for downstream aggregation.
+type Q5Join struct {
+	gen *workload.TPCH
+	// Region is the r_name filter (index into workload.Regions).
+	Region int
+	// Joined counts emitted join results, for verification.
+	Joined int64
+}
+
+// NewQ5Join builds one instance's operator over the generator's
+// dimension tables (read-only, safe to share across instances).
+func NewQ5Join(gen *workload.TPCH, region int) *Q5Join {
+	return &Q5Join{gen: gen, Region: region}
+}
+
+// Process implements engine.Operator.
+func (q *Q5Join) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
+	switch v := t.Value.(type) {
+	case workload.Order:
+		// Probe buffered lineitems of this orderkey.
+		for _, e := range ctx.Store.Entries(t.Key) {
+			if li, ok := e.Value.(workload.Lineitem); ok {
+				q.join(ctx, v, li)
+			}
+		}
+	case workload.Lineitem:
+		for _, e := range ctx.Store.Entries(t.Key) {
+			if o, ok := e.Value.(workload.Order); ok {
+				q.join(ctx, o, v)
+			}
+		}
+	}
+	ctx.Store.Add(t.Key, state.Entry{Value: t.Value, Size: t.StateSize})
+}
+
+// join applies the c ⋈ n and s ⋈ n lookups and the region filter, then
+// emits the revenue contribution keyed by nation.
+func (q *Q5Join) join(ctx *engine.TaskCtx, o workload.Order, li workload.Lineitem) {
+	// Q5 requires customer and supplier in the same nation.
+	cn := q.gen.NationOfCust(o.CustKey)
+	sn := q.gen.NationOfSupp(li.SuppKey)
+	if cn != sn || workload.RegionOfNation(sn) != q.Region {
+		return
+	}
+	rev := li.ExtendedPrice * (1 - li.Discount)
+	out := tuple.New(tuple.Key(sn), rev)
+	out.Stream = "q5"
+	ctx.Emit(out)
+	q.Joined++
+}
+
+// Q5JoinFleet tracks instances.
+type Q5JoinFleet struct {
+	Instances map[int]*Q5Join
+	Gen       *workload.TPCH
+	Region    int
+}
+
+// NewQ5JoinFleet returns a fleet bound to one generator and region.
+func NewQ5JoinFleet(gen *workload.TPCH, region int) *Q5JoinFleet {
+	return &Q5JoinFleet{Instances: make(map[int]*Q5Join), Gen: gen, Region: region}
+}
+
+// Factory is the stage's operator factory.
+func (f *Q5JoinFleet) Factory(id int) engine.Operator {
+	op := NewQ5Join(f.Gen, f.Region)
+	f.Instances[id] = op
+	return op
+}
+
+// TotalJoined sums join results across instances.
+func (f *Q5JoinFleet) TotalJoined() int64 {
+	var s int64
+	for _, op := range f.Instances {
+		s += op.Joined
+	}
+	return s
+}
+
+// NationRevenue is the stage-1 operator: GROUP BY n_name SUM(revenue),
+// 25 keys, effectively unskewed.
+type NationRevenue struct {
+	Revenue map[tuple.Key]float64
+}
+
+// NewNationRevenue builds one instance's operator.
+func NewNationRevenue() *NationRevenue {
+	return &NationRevenue{Revenue: make(map[tuple.Key]float64)}
+}
+
+// Process implements engine.Operator.
+func (n *NationRevenue) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
+	if rev, ok := t.Value.(float64); ok {
+		n.Revenue[t.Key] += rev
+	}
+}
+
+// NationRevenueFleet tracks instances.
+type NationRevenueFleet struct {
+	Instances map[int]*NationRevenue
+}
+
+// NewNationRevenueFleet returns an empty fleet.
+func NewNationRevenueFleet() *NationRevenueFleet {
+	return &NationRevenueFleet{Instances: make(map[int]*NationRevenue)}
+}
+
+// Factory is the stage's operator factory.
+func (f *NationRevenueFleet) Factory(id int) engine.Operator {
+	op := NewNationRevenue()
+	f.Instances[id] = op
+	return op
+}
+
+// TotalRevenue sums revenue for a nation across instances.
+func (f *NationRevenueFleet) TotalRevenue(nation int) float64 {
+	var s float64
+	for _, op := range f.Instances {
+		s += op.Revenue[tuple.Key(nation)]
+	}
+	return s
+}

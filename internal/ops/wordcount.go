@@ -1,0 +1,65 @@
+// Package ops provides the paper's application operators: word count
+// over social feeds, windowed self-join over stock trades, the
+// split-key aggregation pair PKG needs (partial count + merge), and the
+// TPC-H Q5 continuous-join pipeline (§V).
+package ops
+
+import (
+	"repro/internal/engine"
+	"repro/internal/state"
+	"repro/internal/tuple"
+)
+
+// WordCount is the Social-data topology: it maintains the appearance
+// frequency of each topic word over the sliding window. State grows
+// with word frequency, so hot words are expensive to migrate — the
+// regime where MinMig/Mixed's γ index matters.
+type WordCount struct {
+	// counts holds the running total per key for result verification.
+	counts map[tuple.Key]int64
+}
+
+// NewWordCount builds one instance's operator.
+func NewWordCount() *WordCount {
+	return &WordCount{counts: make(map[tuple.Key]int64)}
+}
+
+// Process implements engine.Operator.
+func (w *WordCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
+	w.counts[t.Key]++
+	ctx.Store.Add(t.Key, state.Entry{Value: int64(1), Size: t.StateSize})
+}
+
+// Count returns the instance-local total for a key.
+func (w *WordCount) Count(k tuple.Key) int64 { return w.counts[k] }
+
+// WordCountFleet tracks the operator instance created per task so
+// tests and examples can inspect results after the run. Instances share
+// nothing; key grouping sends a key to exactly one live instance at a
+// time and migration moves windowed state along.
+type WordCountFleet struct {
+	Instances map[int]*WordCount
+}
+
+// NewWordCountFleet returns an empty fleet.
+func NewWordCountFleet() *WordCountFleet {
+	return &WordCountFleet{Instances: make(map[int]*WordCount)}
+}
+
+// Factory is the stage's operator factory.
+func (f *WordCountFleet) Factory(id int) engine.Operator {
+	op := NewWordCount()
+	f.Instances[id] = op
+	return op
+}
+
+// TotalCount sums a key's count across instances (exactly one instance
+// holds a given key at a time under key grouping, but counts persist on
+// prior owners after migration; the sum is the true total).
+func (f *WordCountFleet) TotalCount(k tuple.Key) int64 {
+	var s int64
+	for _, op := range f.Instances {
+		s += op.Count(k)
+	}
+	return s
+}

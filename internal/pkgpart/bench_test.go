@@ -1,0 +1,26 @@
+package pkgpart
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	r := NewRouter(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Route(tuple.New(tuple.Key(i%1000), nil))
+	}
+}
+
+func BenchmarkMergerFlush(b *testing.B) {
+	m := NewMerger()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 100; k++ {
+			m.Add(tuple.Key(k), 1)
+		}
+		m.Flush()
+	}
+}

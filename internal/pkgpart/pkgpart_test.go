@@ -1,0 +1,127 @@
+package pkgpart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestCandidatesDistinctAndStable(t *testing.T) {
+	r := NewRouter(10)
+	f := func(k uint64) bool {
+		d1, d2 := r.Candidates(tuple.Key(k))
+		e1, e2 := r.Candidates(tuple.Key(k))
+		return d1 == e1 && d2 == e2 && d1 != d2 &&
+			d1 >= 0 && d1 < 10 && d2 >= 0 && d2 < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteOnlyToCandidates(t *testing.T) {
+	r := NewRouter(8)
+	for k := tuple.Key(0); k < 2000; k++ {
+		d1, d2 := r.Candidates(k)
+		d := r.Route(tuple.New(k, nil))
+		if d != d1 && d != d2 {
+			t.Fatalf("key %d routed to %d, candidates %d/%d", k, d, d1, d2)
+		}
+	}
+}
+
+func TestTwoChoicesBalancesHotKey(t *testing.T) {
+	// One pathological key hammered 10000 times: PKG splits it across
+	// its two candidates roughly evenly — the behaviour key grouping
+	// cannot offer.
+	r := NewRouter(4)
+	hot := tuple.Key(7)
+	for i := 0; i < 10000; i++ {
+		r.Route(tuple.New(hot, nil))
+	}
+	d1, d2 := r.Candidates(hot)
+	l1, l2 := r.Loads()[d1], r.Loads()[d2]
+	if l1+l2 != 10000 {
+		t.Fatalf("hot key load %d+%d, want 10000 total", l1, l2)
+	}
+	diff := l1 - l2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1 {
+		t.Fatalf("two-choices split %d/%d; should alternate", l1, l2)
+	}
+}
+
+func TestTwoChoicesBalancesSkewedStream(t *testing.T) {
+	// Zipf-ish synthetic stream: the max/avg load ratio under PKG must
+	// stay near 1 (the ICDE'15 result our baseline must reproduce).
+	r := NewRouter(5)
+	for i := 0; i < 50000; i++ {
+		k := tuple.Key(i % 100)
+		if i%3 != 0 {
+			k = tuple.Key(i % 7) // heavy head
+		}
+		r.Route(tuple.New(k, nil))
+	}
+	var max, sum int64
+	for _, l := range r.Loads() {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	avg := float64(sum) / 5
+	if float64(max)/avg > 1.1 {
+		t.Fatalf("PKG skew %v, want ≤ 1.1", float64(max)/avg)
+	}
+}
+
+func TestRouterReset(t *testing.T) {
+	r := NewRouter(3)
+	r.Route(tuple.New(1, nil))
+	r.Reset()
+	for _, l := range r.Loads() {
+		if l != 0 {
+			t.Fatal("Reset did not clear loads")
+		}
+	}
+}
+
+func TestSingleInstanceRouter(t *testing.T) {
+	r := NewRouter(1)
+	for k := tuple.Key(0); k < 50; k++ {
+		if d := r.Route(tuple.New(k, nil)); d != 0 {
+			t.Fatalf("nd=1 routed to %d", d)
+		}
+	}
+}
+
+func TestMergerCombinesPartials(t *testing.T) {
+	m := NewMerger()
+	m.Add(1, 5)
+	m.Add(1, 7)
+	m.Add(2, 3)
+	if m.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", m.Pending())
+	}
+	if n := m.Flush(); n != 2 {
+		t.Fatalf("Flush merged %d keys, want 2", n)
+	}
+	if m.Result(1) != 12 || m.Result(2) != 3 {
+		t.Fatalf("Results = %d/%d, want 12/3", m.Result(1), m.Result(2))
+	}
+	if m.Pending() != 0 {
+		t.Fatal("Flush left pending partials")
+	}
+	// Second period accumulates on top.
+	m.Add(1, 1)
+	m.Flush()
+	if m.Result(1) != 13 {
+		t.Fatalf("Result after second flush = %d, want 13", m.Result(1))
+	}
+	if m.FlushedKeys != 3 {
+		t.Fatalf("FlushedKeys = %d, want 3", m.FlushedKeys)
+	}
+}

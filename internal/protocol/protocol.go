@@ -1,0 +1,156 @@
+// Package protocol defines the wire messages of the rebalance control
+// workflow (Fig. 5) and a gob codec for exchanging them over any
+// net.Conn-like transport. The in-process engine applies these steps
+// through direct calls (engine.Stage.ApplyPlan); this package carries
+// the same protocol across a real network boundary, so a multi-process
+// deployment can speak it unchanged:
+//
+//	task       → controller : LoadReport        (step 1)
+//	controller → upstream    : PlanAnnounce+Pause (steps 3–4)
+//	source     → destination : StateTransfer     (step 5)
+//	task       → controller  : Ack               (step 6)
+//	controller → upstream    : Resume            (step 7)
+package protocol
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// KeyStatWire is the per-key statistics record of a load report: the
+// computation cost and windowed memory consumption of §IV step 1.
+type KeyStatWire struct {
+	Key  tuple.Key
+	Cost int64
+	Freq int64
+	Mem  int64
+}
+
+// LoadReport is step 1: one task's interval statistics.
+type LoadReport struct {
+	TaskID   int
+	Interval int64
+	Stats    []KeyStatWire
+}
+
+// RouteEntry is one routing-table pair (k, d).
+type RouteEntry struct {
+	Key  tuple.Key
+	Dest int
+}
+
+// PlanAnnounce is steps 3–4: the new assignment function F′ (as the
+// explicit table A′; the hash part is shared configuration) and the
+// migration set Δ(F, F′). Receipt implies Pause for the keys in Moved.
+type PlanAnnounce struct {
+	Interval int64
+	Table    []RouteEntry
+	Moved    []RouteEntry // key → new destination
+}
+
+// StateTransfer is step 5: one key's serialized windowed state moving
+// between task instances.
+type StateTransfer struct {
+	Key      tuple.Key
+	From, To int
+	Size     int64
+	Payload  []byte
+}
+
+// Ack is step 6: a task confirms it finished its part of the plan.
+type Ack struct {
+	TaskID   int
+	Interval int64
+}
+
+// Resume is step 7: the controller releases the paused keys.
+type Resume struct {
+	Interval int64
+}
+
+// Message is the envelope union; exactly one field is non-nil.
+type Message struct {
+	Report *LoadReport
+	Plan   *PlanAnnounce
+	State  *StateTransfer
+	Ack    *Ack
+	Resume *Resume
+}
+
+// Kind names the populated variant, for logging and dispatch.
+func (m *Message) Kind() string {
+	switch {
+	case m.Report != nil:
+		return "report"
+	case m.Plan != nil:
+		return "plan"
+	case m.State != nil:
+		return "state"
+	case m.Ack != nil:
+		return "ack"
+	case m.Resume != nil:
+		return "resume"
+	default:
+		return "empty"
+	}
+}
+
+// Codec frames Messages over a byte stream with encoding/gob.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// Send encodes one message.
+func (c *Codec) Send(m *Message) error {
+	if m.Kind() == "empty" {
+		return fmt.Errorf("protocol: refusing to send empty message")
+	}
+	return c.enc.Encode(m)
+}
+
+// Recv decodes the next message.
+func (c *Codec) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReportFromStats converts a tracker harvest into a LoadReport.
+func ReportFromStats(taskID int, interval int64, perKey map[tuple.Key]stats.KeyStat) *LoadReport {
+	r := &LoadReport{TaskID: taskID, Interval: interval}
+	for k, ks := range perKey {
+		r.Stats = append(r.Stats, KeyStatWire{Key: k, Cost: ks.Cost, Freq: ks.Freq, Mem: ks.Mem})
+	}
+	return r
+}
+
+// MergeReports folds task reports into the controller's per-key view,
+// tagging each key with the reporting task as its current destination —
+// the merge the in-process controller performs via stage.EndInterval.
+func MergeReports(reports []*LoadReport) map[tuple.Key]stats.KeyStat {
+	out := make(map[tuple.Key]stats.KeyStat)
+	for _, r := range reports {
+		for _, s := range r.Stats {
+			ks := out[s.Key]
+			ks.Key = s.Key
+			ks.Cost += s.Cost
+			ks.Freq += s.Freq
+			ks.Mem += s.Mem
+			ks.Dest = r.TaskID
+			out[s.Key] = ks
+		}
+	}
+	return out
+}

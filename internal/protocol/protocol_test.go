@@ -1,0 +1,258 @@
+package protocol
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewCodec(a), NewCodec(b)
+
+	msgs := []*Message{
+		{Report: &LoadReport{TaskID: 2, Interval: 7, Stats: []KeyStatWire{{Key: 1, Cost: 5, Freq: 3, Mem: 9}}}},
+		{Plan: &PlanAnnounce{Interval: 7, Table: []RouteEntry{{Key: 1, Dest: 3}}, Moved: []RouteEntry{{Key: 1, Dest: 3}}}},
+		{State: &StateTransfer{Key: 1, From: 0, To: 3, Size: 9, Payload: []byte("window")}},
+		{Ack: &Ack{TaskID: 3, Interval: 7}},
+		{Resume: &Resume{Interval: 7}},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send %s: %v", m.Kind(), err)
+				return
+			}
+		}
+	}()
+	wantKinds := []string{"report", "plan", "state", "ack", "resume"}
+	for i, want := range wantKinds {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Kind() != want {
+			t.Fatalf("message %d kind = %s, want %s", i, got.Kind(), want)
+		}
+	}
+	wg.Wait()
+
+	// Payload fidelity spot checks on a fresh pipe.
+	a2, b2 := net.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	go NewCodec(a2).Send(msgs[2])
+	got, err := NewCodec(b2).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.State.Payload) != "window" || got.State.Size != 9 {
+		t.Fatalf("state transfer corrupted: %+v", got.State)
+	}
+}
+
+func TestSendRejectsEmpty(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := NewCodec(a).Send(&Message{}); err == nil {
+		t.Fatal("empty message accepted")
+	}
+}
+
+func TestReportFromStatsAndMerge(t *testing.T) {
+	r0 := ReportFromStats(0, 5, map[tuple.Key]stats.KeyStat{
+		1: {Cost: 4, Freq: 2, Mem: 6},
+	})
+	r1 := ReportFromStats(1, 5, map[tuple.Key]stats.KeyStat{
+		2: {Cost: 9, Freq: 3, Mem: 1},
+	})
+	merged := MergeReports([]*LoadReport{r0, r1})
+	if merged[1].Dest != 0 || merged[2].Dest != 1 {
+		t.Fatalf("destinations lost in merge: %+v", merged)
+	}
+	if merged[2].Cost != 9 || merged[1].Mem != 6 {
+		t.Fatalf("values lost in merge: %+v", merged)
+	}
+}
+
+// TestFullProtocolExchange drives the complete Fig. 5 sequence between
+// a controller goroutine and two task goroutines over real pipes: the
+// tasks report, the controller plans with the real Mixed planner,
+// announces, the source task ships state, acks flow, resume closes the
+// round.
+func TestFullProtocolExchange(t *testing.T) {
+	const interval = 3
+	type taskState struct {
+		id     int
+		stats  map[tuple.Key]stats.KeyStat
+		owned  map[tuple.Key][]byte
+		paused map[tuple.Key]bool
+	}
+	// Task 0 is overloaded with five medium keys; task 1 nearly idle.
+	t0stats := map[tuple.Key]stats.KeyStat{}
+	t0owned := map[tuple.Key][]byte{}
+	for k := tuple.Key(10); k < 15; k++ {
+		t0stats[k] = stats.KeyStat{Cost: 20, Freq: 20, Mem: 2}
+		t0owned[k] = []byte("state-" + string(rune('a'+k-10)))
+	}
+	tasks := []*taskState{
+		{id: 0, stats: t0stats, owned: t0owned, paused: map[tuple.Key]bool{}},
+		{id: 1, stats: map[tuple.Key]stats.KeyStat{
+			15: {Cost: 20, Freq: 20, Mem: 2},
+		}, owned: map[tuple.Key][]byte{15: []byte("x")}, paused: map[tuple.Key]bool{}},
+	}
+
+	// Pipes: controller ↔ each task, plus a task0 → task1 data channel.
+	c0, t0 := net.Pipe()
+	c1, t1 := net.Pipe()
+	d01a, d01b := net.Pipe()
+	defer func() {
+		for _, c := range []net.Conn{c0, t0, c1, t1, d01a, d01b} {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	// Task goroutines.
+	runTask := func(ts *taskState, conn net.Conn, peerSend, peerRecv *Codec) {
+		defer wg.Done()
+		c := NewCodec(conn)
+		// Step 1: report.
+		if err := c.Send(&Message{Report: ReportFromStats(ts.id, interval, ts.stats)}); err != nil {
+			errs <- err
+			return
+		}
+		// Steps 3–4: receive plan, pause moved keys.
+		m, err := c.Recv()
+		if err != nil {
+			errs <- err
+			return
+		}
+		for _, mv := range m.Plan.Moved {
+			ts.paused[mv.Key] = true
+			// Step 5: ship state we own that must leave.
+			if payload, ok := ts.owned[mv.Key]; ok && mv.Dest != ts.id && peerSend != nil {
+				err := peerSend.Send(&Message{State: &StateTransfer{
+					Key: mv.Key, From: ts.id, To: mv.Dest,
+					Size: int64(len(payload)), Payload: payload,
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				delete(ts.owned, mv.Key)
+			}
+			// Receive state arriving for us.
+			if mv.Dest == ts.id && peerRecv != nil {
+				sm, err := peerRecv.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				ts.owned[sm.State.Key] = sm.State.Payload
+			}
+		}
+		// Step 6: ack.
+		if err := c.Send(&Message{Ack: &Ack{TaskID: ts.id, Interval: interval}}); err != nil {
+			errs <- err
+			return
+		}
+		// Step 7: resume.
+		m, err = c.Recv()
+		if err != nil {
+			errs <- err
+			return
+		}
+		if m.Kind() != "resume" {
+			errs <- errKind{m.Kind()}
+			return
+		}
+		ts.paused = map[tuple.Key]bool{}
+	}
+
+	wg.Add(2)
+	go runTask(tasks[0], t0, NewCodec(d01a), nil)
+	go runTask(tasks[1], t1, nil, NewCodec(d01b))
+
+	// Controller.
+	cc := []*Codec{NewCodec(c0), NewCodec(c1)}
+	var reports []*LoadReport
+	for _, c := range cc {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, m.Report)
+	}
+	perKey := MergeReports(reports)
+	snap := &stats.Snapshot{Interval: interval, ND: 2}
+	for k, ks := range perKey {
+		ks.Key = k
+		ks.Hash = ks.Dest // hash home = current owner in this toy setup
+		snap.Keys = append(snap.Keys, ks)
+	}
+	stats.SortByCostDesc(snap.Keys)
+	plan := balance.Mixed{}.Plan(snap, balance.Config{ThetaMax: 0.2, Beta: 1.5})
+	if len(plan.Moved) == 0 {
+		t.Fatal("planner did not move the hot key")
+	}
+	ann := &PlanAnnounce{Interval: interval}
+	plan.Table.Each(func(k tuple.Key, d int) { ann.Table = append(ann.Table, RouteEntry{k, d}) })
+	for _, k := range plan.Moved {
+		ann.Moved = append(ann.Moved, RouteEntry{k, plan.MoveDest[k]})
+	}
+	for _, c := range cc {
+		if err := c.Send(&Message{Plan: ann}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range cc {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind() != "ack" {
+			t.Fatalf("expected ack, got %s", m.Kind())
+		}
+	}
+	for _, c := range cc {
+		if err := c.Send(&Message{Resume: &Resume{Interval: interval}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every moved key's state must now live at its new destination and
+	// nowhere else.
+	for _, mv := range ann.Moved {
+		if mv.Dest != 1 {
+			t.Fatalf("toy plan moved key %d to %d, expected everything to task 1", mv.Key, mv.Dest)
+		}
+		if len(tasks[1].owned[mv.Key]) == 0 {
+			t.Fatalf("state for key %d did not arrive", mv.Key)
+		}
+		if _, still := tasks[0].owned[mv.Key]; still {
+			t.Fatalf("state for key %d not removed from source", mv.Key)
+		}
+	}
+}
+
+type errKind struct{ kind string }
+
+func (e errKind) Error() string { return "unexpected message kind " + e.kind }

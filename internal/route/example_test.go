@@ -1,0 +1,23 @@
+package route_test
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+)
+
+// ExampleAssignment demonstrates the paper's Eq. 1: explicit entries
+// override the hash, everything else falls through.
+func ExampleAssignment() {
+	table := route.NewTable()
+	table.Put(5, 3) // key 5 explicitly routed to instance 3
+	f := route.NewAssignment(table, route.ModHasher(4))
+
+	fmt.Println("F(5) =", f.Dest(5)) // routed
+	fmt.Println("F(6) =", f.Dest(6)) // hashed: 6 mod 4
+	fmt.Println("h(5) =", f.HashDest(5))
+	// Output:
+	// F(5) = 3
+	// F(6) = 2
+	// h(5) = 1
+}

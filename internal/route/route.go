@@ -1,0 +1,154 @@
+// Package route implements the paper's mixed routing strategy (§II,
+// Fig. 3): a bounded explicit routing table A layered over a consistent
+// hash h, yielding the assignment function
+//
+//	F(k) = d     if (k, d) ∈ A
+//	F(k) = h(k)  otherwise.          (Eq. 1)
+//
+// The routing table only stores keys whose destination differs from the
+// hash default, so its size NA is exactly the number of "exception"
+// keys — the quantity the optimization problem (Eq. 3) bounds by Amax.
+package route
+
+import (
+	"sort"
+
+	"repro/internal/hashring"
+	"repro/internal/tuple"
+)
+
+// Hasher is the hash half of the assignment function. *hashring.Ring
+// satisfies it; tests substitute cheap modular hashers.
+type Hasher interface {
+	Hash(k tuple.Key) int
+	Instances() int
+}
+
+// ModHasher is a trivial Hasher (k mod n) used by unit tests and by
+// planner micro-benchmarks where ring lookups would dominate.
+type ModHasher int
+
+// Hash returns k mod n.
+func (m ModHasher) Hash(k tuple.Key) int { return int(uint64(k) % uint64(m)) }
+
+// Instances returns the instance count.
+func (m ModHasher) Instances() int { return int(m) }
+
+var _ Hasher = (*hashring.Ring)(nil)
+
+// Table is the explicit routing table A: the set of (key → destination)
+// pairs overriding the hash. Table is not safe for concurrent mutation;
+// the engine swaps immutable snapshots via Assignment.
+type Table struct {
+	m map[tuple.Key]int
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{m: make(map[tuple.Key]int)}
+}
+
+// Put inserts or updates the entry for k.
+func (t *Table) Put(k tuple.Key, d int) { t.m[k] = d }
+
+// Delete removes the entry for k if present.
+func (t *Table) Delete(k tuple.Key) { delete(t.m, k) }
+
+// Lookup returns the explicit destination for k and whether one exists.
+func (t *Table) Lookup(k tuple.Key) (int, bool) {
+	d, ok := t.m[k]
+	return d, ok
+}
+
+// Len returns NA, the number of entries.
+func (t *Table) Len() int { return len(t.m) }
+
+// Keys returns the routed keys in ascending order (deterministic for
+// tests and for the Mixed algorithm's cleaning phase tie-breaks).
+func (t *Table) Keys() []tuple.Key {
+	ks := make([]tuple.Key, 0, len(t.m))
+	for k := range t.m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{m: make(map[tuple.Key]int, len(t.m))}
+	for k, d := range t.m {
+		c.m[k] = d
+	}
+	return c
+}
+
+// Each calls fn for every entry in unspecified order.
+func (t *Table) Each(fn func(k tuple.Key, d int)) {
+	for k, d := range t.m {
+		fn(k, d)
+	}
+}
+
+// Assignment is the full partition function F = (A, h). It is immutable
+// after construction so upstream tasks can share it without locking;
+// rebalancing installs a fresh Assignment.
+type Assignment struct {
+	table *Table
+	hash  Hasher
+}
+
+// NewAssignment pairs a routing table with a hasher. A nil table is
+// treated as empty (pure hashing, the paper's Storm baseline).
+func NewAssignment(table *Table, hash Hasher) *Assignment {
+	if table == nil {
+		table = NewTable()
+	}
+	return &Assignment{table: table, hash: hash}
+}
+
+// Dest evaluates F(k).
+func (a *Assignment) Dest(k tuple.Key) int {
+	if d, ok := a.table.Lookup(k); ok {
+		return d
+	}
+	return a.hash.Hash(k)
+}
+
+// HashDest evaluates the hash half h(k) regardless of the table.
+func (a *Assignment) HashDest(k tuple.Key) int { return a.hash.Hash(k) }
+
+// Table returns the underlying routing table (callers must not mutate).
+func (a *Assignment) Table() *Table { return a.table }
+
+// Hasher returns the hash half of the assignment.
+func (a *Assignment) Hasher() Hasher { return a.hash }
+
+// Instances returns ND, the number of downstream instances.
+func (a *Assignment) Instances() int { return a.hash.Instances() }
+
+// Delta computes Δ(F, F′) over the given key universe: the set of keys
+// whose destination differs between the two assignments (§II-A). Only
+// keys present in either routing table can differ when both assignments
+// share the same hasher, so the scan is restricted to that union rather
+// than the full key domain.
+func Delta(old, new *Assignment, extra []tuple.Key) []tuple.Key {
+	seen := make(map[tuple.Key]struct{})
+	var out []tuple.Key
+	check := func(k tuple.Key) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		if old.Dest(k) != new.Dest(k) {
+			out = append(out, k)
+		}
+	}
+	old.table.Each(func(k tuple.Key, _ int) { check(k) })
+	new.table.Each(func(k tuple.Key, _ int) { check(k) })
+	for _, k := range extra {
+		check(k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,149 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashring"
+	"repro/internal/tuple"
+)
+
+func TestMixedRoutingSemantics(t *testing.T) {
+	// Eq. 1: F(k) = A[k] when present, else h(k).
+	tab := NewTable()
+	tab.Put(5, 3)
+	a := NewAssignment(tab, ModHasher(4))
+	if got := a.Dest(5); got != 3 {
+		t.Fatalf("routed key dest = %d, want 3", got)
+	}
+	if got := a.Dest(6); got != 2 { // 6 mod 4
+		t.Fatalf("hashed key dest = %d, want 2", got)
+	}
+	if got := a.HashDest(5); got != 1 { // 5 mod 4, table ignored
+		t.Fatalf("HashDest = %d, want 1", got)
+	}
+}
+
+func TestAssignmentTotalFunction(t *testing.T) {
+	// Property: F is total and in-range for any key.
+	a := NewAssignment(NewTable(), hashring.New(9, 0))
+	f := func(k uint64) bool {
+		d := a.Dest(tuple.Key(k))
+		return d >= 0 && d < 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTableMeansPureHashing(t *testing.T) {
+	a := NewAssignment(nil, ModHasher(3))
+	for k := tuple.Key(0); k < 30; k++ {
+		if a.Dest(k) != a.HashDest(k) {
+			t.Fatal("nil-table assignment deviated from hash")
+		}
+	}
+	if a.Table().Len() != 0 {
+		t.Fatal("nil table not empty")
+	}
+}
+
+func TestTableOps(t *testing.T) {
+	tab := NewTable()
+	tab.Put(1, 0)
+	tab.Put(2, 1)
+	tab.Put(1, 2) // overwrite
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if d, ok := tab.Lookup(1); !ok || d != 2 {
+		t.Fatalf("Lookup(1) = %d,%v, want 2,true", d, ok)
+	}
+	tab.Delete(1)
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("Delete did not remove entry")
+	}
+	tab.Delete(99) // absent key: no-op
+}
+
+func TestTableKeysSorted(t *testing.T) {
+	tab := NewTable()
+	for _, k := range []tuple.Key{9, 3, 7, 1} {
+		tab.Put(k, 0)
+	}
+	ks := tab.Keys()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Keys not ascending: %v", ks)
+		}
+	}
+}
+
+func TestTableCloneIsDeep(t *testing.T) {
+	tab := NewTable()
+	tab.Put(1, 1)
+	c := tab.Clone()
+	c.Put(2, 2)
+	if tab.Len() != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	h := ModHasher(4)
+	oldTab := NewTable()
+	oldTab.Put(1, 3) // h(1)=1, routed to 3
+	oldTab.Put(2, 3) // h(2)=2, routed to 3
+	newTab := NewTable()
+	newTab.Put(1, 3) // unchanged
+	newTab.Put(8, 1) // h(8)=0, now routed to 1
+	oldA, newA := NewAssignment(oldTab, h), NewAssignment(newTab, h)
+
+	d := Delta(oldA, newA, nil)
+	// key 2: old 3, new h(2)=2 → moved. key 8: old h=0, new 1 → moved.
+	// key 1: 3 both → unmoved.
+	want := []tuple.Key{2, 8}
+	if len(d) != len(want) {
+		t.Fatalf("Delta = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Delta = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestDeltaWithExtraKeys(t *testing.T) {
+	// Extra keys outside both tables never differ when hashers match.
+	h := ModHasher(4)
+	oldA := NewAssignment(NewTable(), h)
+	newA := NewAssignment(NewTable(), h)
+	d := Delta(oldA, newA, []tuple.Key{10, 11, 12})
+	if len(d) != 0 {
+		t.Fatalf("Delta over identical assignments = %v, want empty", d)
+	}
+}
+
+func TestDeltaAcrossHasherChange(t *testing.T) {
+	// Scale-out: hashers differ; extra keys catch hash-induced moves.
+	oldA := NewAssignment(NewTable(), ModHasher(2))
+	newA := NewAssignment(NewTable(), ModHasher(3))
+	d := Delta(oldA, newA, []tuple.Key{0, 1, 2, 3, 4, 5})
+	// k mod 2 vs k mod 3 differ for 2 (0→2), 3 (1→0), 4 (0→1), 5 (1→2).
+	want := map[tuple.Key]bool{2: true, 3: true, 4: true, 5: true}
+	if len(d) != len(want) {
+		t.Fatalf("Delta = %v, want keys 2,3,4,5", d)
+	}
+	for _, k := range d {
+		if !want[k] {
+			t.Fatalf("unexpected key %d in Delta %v", k, d)
+		}
+	}
+}
+
+func TestInstances(t *testing.T) {
+	a := NewAssignment(NewTable(), ModHasher(7))
+	if a.Instances() != 7 {
+		t.Fatalf("Instances = %d, want 7", a.Instances())
+	}
+}

@@ -1,0 +1,45 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewStore(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(tuple.Key(i%1000), Entry{Size: 1})
+	}
+}
+
+func BenchmarkExtractInject(b *testing.B) {
+	src, dst := NewStore(5), NewStore(5)
+	for k := 0; k < 1000; k++ {
+		for j := 0; j < 10; j++ {
+			src.Add(tuple.Key(k), Entry{Size: 1})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := tuple.Key(i % 1000)
+		m := src.Extract(k)
+		dst.Inject(m)
+		src, dst = dst, src
+	}
+}
+
+func BenchmarkEndInterval(b *testing.B) {
+	s := NewStore(3)
+	for k := 0; k < 10000; k++ {
+		s.Add(tuple.Key(k), Entry{Size: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(tuple.Key(i%10000), Entry{Size: 1})
+		s.EndInterval()
+	}
+}

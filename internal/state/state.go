@@ -1,0 +1,225 @@
+// Package state implements the windowed per-key state store of a
+// stateful operator (§II-A): each key accumulates per-interval state
+// entries, only the last w intervals are retained (state from T_{i−w}
+// is erased once T_i completes), and a key's entire windowed state can
+// be extracted and injected elsewhere — the migration primitive whose
+// volume is the migration cost M(w, F, F′) of Eq. 2.
+package state
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Entry is one unit of state: an operator-defined value with an
+// explicit size in state units (the paper's s_i(k) contribution).
+type Entry struct {
+	Value any
+	Size  int64
+}
+
+// bucket holds one interval's entries for one key.
+type bucket struct {
+	interval int64
+	entries  []Entry
+	size     int64
+}
+
+// keyState is a key's retained window of buckets, oldest first.
+type keyState struct {
+	buckets []bucket
+	size    int64
+}
+
+// Store is a single task's windowed state store. It is confined to the
+// owning task goroutine; cross-task access happens only through
+// Extract/Inject at controller barriers.
+type Store struct {
+	window   int
+	interval int64
+	keys     map[tuple.Key]*keyState
+	total    int64
+}
+
+// NewStore creates a store with a retention window of w intervals
+// (w < 1 clamps to 1).
+func NewStore(w int) *Store {
+	if w < 1 {
+		w = 1
+	}
+	return &Store{window: w, keys: make(map[tuple.Key]*keyState)}
+}
+
+// Window returns w.
+func (s *Store) Window() int { return s.window }
+
+// Interval returns the current interval index.
+func (s *Store) Interval() int64 { return s.interval }
+
+// Add appends an entry to key k's current-interval bucket.
+func (s *Store) Add(k tuple.Key, e Entry) {
+	ks := s.keys[k]
+	if ks == nil {
+		ks = &keyState{}
+		s.keys[k] = ks
+	}
+	n := len(ks.buckets)
+	if n == 0 || ks.buckets[n-1].interval != s.interval {
+		ks.buckets = append(ks.buckets, bucket{interval: s.interval})
+		n++
+	}
+	b := &ks.buckets[n-1]
+	b.entries = append(b.entries, e)
+	b.size += e.Size
+	ks.size += e.Size
+	s.total += e.Size
+}
+
+// Entries returns all live entries for key k (oldest first), pruning
+// anything that fell out of the window.
+func (s *Store) Entries(k tuple.Key) []Entry {
+	ks := s.keys[k]
+	if ks == nil {
+		return nil
+	}
+	s.prune(k, ks)
+	var out []Entry
+	for _, b := range ks.buckets {
+		out = append(out, b.entries...)
+	}
+	return out
+}
+
+// Size returns S(k, w): the key's live state size.
+func (s *Store) Size(k tuple.Key) int64 {
+	ks := s.keys[k]
+	if ks == nil {
+		return 0
+	}
+	s.prune(k, ks)
+	return ks.size
+}
+
+// TotalSize returns the store-wide live state volume. Pruning is
+// per-key lazy, so the figure is an upper bound until keys are touched;
+// EndInterval performs a full prune to keep it exact at boundaries.
+func (s *Store) TotalSize() int64 { return s.total }
+
+// KeyCount returns the number of keys holding live state.
+func (s *Store) KeyCount() int { return len(s.keys) }
+
+// Keys returns every key currently holding live state, in unspecified
+// order. The controller uses it to compute hash-delta migrations when
+// the instance set changes (scale-out).
+func (s *Store) Keys() []tuple.Key {
+	out := make([]tuple.Key, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EndInterval advances the clock and evicts every bucket older than the
+// retention window.
+func (s *Store) EndInterval() {
+	s.interval++
+	for k, ks := range s.keys {
+		s.prune(k, ks)
+	}
+}
+
+// prune drops buckets older than the window and removes the key when
+// empty. The window is anchored at the last *finished* interval
+// (s.interval−1): per §II-A, state from T_{i−w} is erased after T_i
+// completes, so during in-progress interval s.interval the retained
+// range is [s.interval−window, s.interval].
+func (s *Store) prune(k tuple.Key, ks *keyState) {
+	oldest := s.interval - int64(s.window)
+	i := 0
+	for i < len(ks.buckets) && ks.buckets[i].interval < oldest {
+		ks.size -= ks.buckets[i].size
+		s.total -= ks.buckets[i].size
+		i++
+	}
+	if i > 0 {
+		ks.buckets = ks.buckets[i:]
+	}
+	if len(ks.buckets) == 0 {
+		delete(s.keys, k)
+	}
+}
+
+// Migrated is a key's extracted windowed state in transit between
+// tasks. Size is the transfer volume charged as migration cost.
+type Migrated struct {
+	Key     tuple.Key
+	Size    int64
+	buckets []bucket
+}
+
+// Extract removes and returns key k's entire windowed state. A key with
+// no state returns an empty Migrated (zero cost), matching the paper's
+// observation that moving stateless keys is free.
+func (s *Store) Extract(k tuple.Key) Migrated {
+	ks := s.keys[k]
+	if ks == nil {
+		return Migrated{Key: k}
+	}
+	s.prune(k, ks)
+	if len(ks.buckets) == 0 {
+		return Migrated{Key: k}
+	}
+	m := Migrated{Key: k, Size: ks.size, buckets: ks.buckets}
+	s.total -= ks.size
+	delete(s.keys, k)
+	return m
+}
+
+// Inject merges a migrated key state into this store. Intervals are
+// preserved so window eviction stays correct; the destination clock
+// must not be behind the source's (controller barriers guarantee this).
+func (s *Store) Inject(m Migrated) {
+	if len(m.buckets) == 0 {
+		return
+	}
+	ks := s.keys[m.Key]
+	if ks == nil {
+		ks = &keyState{}
+		s.keys[m.Key] = ks
+	}
+	// Merge bucket lists by interval (both are sorted ascending).
+	merged := make([]bucket, 0, len(ks.buckets)+len(m.buckets))
+	i, j := 0, 0
+	for i < len(ks.buckets) || j < len(m.buckets) {
+		switch {
+		case i == len(ks.buckets):
+			merged = append(merged, m.buckets[j])
+			j++
+		case j == len(m.buckets):
+			merged = append(merged, ks.buckets[i])
+			i++
+		case ks.buckets[i].interval < m.buckets[j].interval:
+			merged = append(merged, ks.buckets[i])
+			i++
+		case ks.buckets[i].interval > m.buckets[j].interval:
+			merged = append(merged, m.buckets[j])
+			j++
+		default:
+			b := ks.buckets[i]
+			b.entries = append(b.entries, m.buckets[j].entries...)
+			b.size += m.buckets[j].size
+			merged = append(merged, b)
+			i++
+			j++
+		}
+	}
+	ks.buckets = merged
+	ks.size += m.Size
+	s.total += m.Size
+}
+
+// String summarizes the store for debugging.
+func (s *Store) String() string {
+	return fmt.Sprintf("state.Store{w=%d interval=%d keys=%d size=%d}", s.window, s.interval, len(s.keys), s.total)
+}

@@ -1,0 +1,207 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestAddAndEntries(t *testing.T) {
+	s := NewStore(2)
+	s.Add(1, Entry{Value: "a", Size: 2})
+	s.Add(1, Entry{Value: "b", Size: 3})
+	es := s.Entries(1)
+	if len(es) != 2 || es[0].Value != "a" || es[1].Value != "b" {
+		t.Fatalf("Entries = %v", es)
+	}
+	if s.Size(1) != 5 {
+		t.Fatalf("Size = %d, want 5", s.Size(1))
+	}
+	if s.TotalSize() != 5 {
+		t.Fatalf("TotalSize = %d, want 5", s.TotalSize())
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	// w = 2: state from interval i−2 disappears once interval i starts.
+	s := NewStore(2)
+	s.Add(1, Entry{Size: 10}) // interval 0
+	s.EndInterval()
+	s.Add(1, Entry{Size: 20}) // interval 1
+	s.EndInterval()
+	if got := s.Size(1); got != 30 {
+		t.Fatalf("window sum = %d, want 30", got)
+	}
+	s.EndInterval() // interval 0 evicted
+	if got := s.Size(1); got != 20 {
+		t.Fatalf("after eviction = %d, want 20", got)
+	}
+	s.EndInterval() // all gone
+	if got := s.Size(1); got != 0 {
+		t.Fatalf("after full eviction = %d, want 0", got)
+	}
+	if s.KeyCount() != 0 {
+		t.Fatalf("KeyCount = %d, want 0 after eviction", s.KeyCount())
+	}
+}
+
+func TestWindowOneIsInstantaneous(t *testing.T) {
+	s := NewStore(1)
+	s.Add(1, Entry{Size: 7})
+	if got := s.Size(1); got != 7 {
+		t.Fatalf("current-interval size = %d, want 7", got)
+	}
+	s.EndInterval()
+	if got := s.Size(1); got != 7 {
+		t.Fatalf("size one interval later = %d, want 7 (w=1 keeps last interval)", got)
+	}
+	s.EndInterval()
+	if got := s.Size(1); got != 0 {
+		t.Fatalf("size two intervals later = %d, want 0", got)
+	}
+}
+
+func TestExtractInjectRoundTrip(t *testing.T) {
+	src, dst := NewStore(3), NewStore(3)
+	src.Add(5, Entry{Value: 1, Size: 4})
+	src.EndInterval()
+	dst.EndInterval()
+	src.Add(5, Entry{Value: 2, Size: 6})
+
+	m := src.Extract(5)
+	if m.Size != 10 {
+		t.Fatalf("Migrated.Size = %d, want 10", m.Size)
+	}
+	if src.Size(5) != 0 || src.TotalSize() != 0 {
+		t.Fatal("source retains state after Extract")
+	}
+	dst.Inject(m)
+	if dst.Size(5) != 10 {
+		t.Fatalf("dest size = %d, want 10", dst.Size(5))
+	}
+	es := dst.Entries(5)
+	if len(es) != 2 {
+		t.Fatalf("dest entries = %d, want 2", len(es))
+	}
+	// Window semantics survive migration: the newest bucket was written
+	// during interval 1, so it lives through finished intervals 1..3
+	// (w = 3) and is erased once interval 4 completes.
+	for i := 0; i < 4; i++ {
+		dst.EndInterval()
+	}
+	if got := dst.Size(5); got != 0 {
+		t.Fatalf("migrated state not evicted by window: %d", got)
+	}
+}
+
+func TestExtractMissingKeyIsFree(t *testing.T) {
+	s := NewStore(1)
+	m := s.Extract(99)
+	if m.Size != 0 {
+		t.Fatalf("missing key migration size = %d, want 0", m.Size)
+	}
+	s.Inject(m) // no-op, must not panic
+}
+
+func TestInjectMergesSameInterval(t *testing.T) {
+	// Both stores accumulated state for the same key in the same
+	// interval (possible transiently around a replan); inject must
+	// merge buckets, not duplicate intervals.
+	a, b := NewStore(2), NewStore(2)
+	a.Add(1, Entry{Value: "a", Size: 1})
+	b.Add(1, Entry{Value: "b", Size: 2})
+	m := a.Extract(1)
+	b.Inject(m)
+	if got := b.Size(1); got != 3 {
+		t.Fatalf("merged size = %d, want 3", got)
+	}
+	if es := b.Entries(1); len(es) != 2 {
+		t.Fatalf("merged entries = %d, want 2", len(es))
+	}
+}
+
+func TestTotalSizeTracksAllKeys(t *testing.T) {
+	s := NewStore(2)
+	for k := tuple.Key(0); k < 10; k++ {
+		s.Add(k, Entry{Size: int64(k) + 1})
+	}
+	if got := s.TotalSize(); got != 55 {
+		t.Fatalf("TotalSize = %d, want 55", got)
+	}
+	s.Extract(9)
+	if got := s.TotalSize(); got != 45 {
+		t.Fatalf("TotalSize after extract = %d, want 45", got)
+	}
+}
+
+func TestKeysListing(t *testing.T) {
+	s := NewStore(1)
+	s.Add(3, Entry{Size: 1})
+	s.Add(8, Entry{Size: 1})
+	ks := s.Keys()
+	if len(ks) != 2 {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestWindowClamp(t *testing.T) {
+	if NewStore(0).Window() != 1 {
+		t.Fatal("window 0 not clamped")
+	}
+	if NewStore(-5).Window() != 1 {
+		t.Fatal("negative window not clamped")
+	}
+}
+
+// Property: TotalSize always equals the sum of per-key sizes, across a
+// random sequence of add/extract/inject/rotate operations.
+func TestTotalSizeInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(1 + rng.Intn(4))
+		other := NewStore(s.Window())
+		for op := 0; op < 300; op++ {
+			k := tuple.Key(rng.Intn(12))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				s.Add(k, Entry{Size: int64(1 + rng.Intn(9))})
+			case 3:
+				m := s.Extract(k)
+				other.Inject(m)
+			case 4:
+				s.EndInterval()
+				other.EndInterval()
+			}
+		}
+		var sum int64
+		for _, k := range s.Keys() {
+			sum += s.Size(k)
+		}
+		return sum == s.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := NewStore(2)
+	s.Add(1, Entry{Size: 3})
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestIntervalCounter(t *testing.T) {
+	s := NewStore(2)
+	if s.Interval() != 0 {
+		t.Fatal("fresh store interval not 0")
+	}
+	s.EndInterval()
+	s.EndInterval()
+	if s.Interval() != 2 {
+		t.Fatalf("Interval = %d, want 2", s.Interval())
+	}
+}

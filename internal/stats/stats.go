@@ -1,0 +1,172 @@
+// Package stats collects and summarizes the per-key measurements the
+// rebalance planners consume: tuple frequency g_i(k), computation cost
+// c_i(k), per-interval state size s_i(k) and its windowed sum S_i(k,w)
+// (§II-A). It also computes the per-instance load L_i(d, F), the
+// balance indicator θ_i(d, F) and the workload-skewness metric
+// max L(d) / L̄ reported throughout §V.
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// KeyStat is the planner-facing record for one key, estimated from the
+// previous interval's measurements as the problem formulation (§II-B)
+// prescribes.
+type KeyStat struct {
+	Key  tuple.Key
+	Cost int64 // c_{i-1}(k): CPU cost of the key's tuples last interval
+	Freq int64 // g_{i-1}(k): tuple count last interval
+	Mem  int64 // S_{i-1}(k, w): windowed state size (migration cost unit)
+	Dest int   // current destination F(k)
+	Hash int   // hash destination h(k)
+}
+
+// Routed reports whether the key currently occupies a routing-table
+// entry (its destination differs from its hash default).
+func (ks KeyStat) Routed() bool { return ks.Dest != ks.Hash }
+
+// Snapshot is one interval's worth of statistics for a single operator:
+// everything the balance algorithms in §III need to construct F′.
+type Snapshot struct {
+	Interval int64
+	ND       int
+	Keys     []KeyStat
+}
+
+// Loads returns L(d) for every instance under the snapshot's recorded
+// destinations.
+func (s *Snapshot) Loads() []int64 {
+	loads := make([]int64, s.ND)
+	for _, ks := range s.Keys {
+		loads[ks.Dest] += ks.Cost
+	}
+	return loads
+}
+
+// TotalCost returns Σ_k c(k).
+func (s *Snapshot) TotalCost() int64 {
+	var t int64
+	for _, ks := range s.Keys {
+		t += ks.Cost
+	}
+	return t
+}
+
+// TotalMem returns Σ_k S(k,w), the denominator of the migration-cost
+// percentage reported in the paper's figures.
+func (s *Snapshot) TotalMem() int64 {
+	var t int64
+	for _, ks := range s.Keys {
+		t += ks.Mem
+	}
+	return t
+}
+
+// AvgLoad returns L̄ = Σ L(d) / ND.
+func (s *Snapshot) AvgLoad() float64 {
+	if s.ND == 0 {
+		return 0
+	}
+	return float64(s.TotalCost()) / float64(s.ND)
+}
+
+// Clone deep-copies the snapshot so planners can mutate destinations
+// while the caller retains the original.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Interval: s.Interval, ND: s.ND, Keys: make([]KeyStat, len(s.Keys))}
+	copy(c.Keys, s.Keys)
+	return c
+}
+
+// SortByCostDesc orders keys by descending cost with key-ascending
+// tie-break, the ordering both LLFD and Simple iterate in.
+func SortByCostDesc(keys []KeyStat) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Cost != keys[j].Cost {
+			return keys[i].Cost > keys[j].Cost
+		}
+		return keys[i].Key < keys[j].Key
+	})
+}
+
+// Theta returns the balance indicator θ(d) = |L(d) − L̄| / L̄ for every
+// instance. A zero average load yields all-zero indicators.
+func Theta(loads []int64) []float64 {
+	avg := avgOf(loads)
+	out := make([]float64, len(loads))
+	if avg == 0 {
+		return out
+	}
+	for i, l := range loads {
+		d := float64(l) - avg
+		if d < 0 {
+			d = -d
+		}
+		out[i] = d / avg
+	}
+	return out
+}
+
+// MaxTheta returns max_d θ(d), the quantity constrained by θmax.
+func MaxTheta(loads []int64) float64 {
+	var m float64
+	for _, t := range Theta(loads) {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// OverloadTheta returns max_d (L(d) − L̄)/L̄ clamped at 0: the overload
+// side of the balance indicator. This is the quantity the algorithms'
+// Lmax = (1+θmax)·L̄ constraint actually bounds; an instance can remain
+// *under*loaded without any key placement being able to fix it (e.g.
+// fewer heavy keys than instances), so feasibility is judged one-sided.
+func OverloadTheta(loads []int64) float64 {
+	avg := avgOf(loads)
+	if avg == 0 {
+		return 0
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	over := (float64(max) - avg) / avg
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// Skewness returns max L(d) / L̄, the "workload skewness" metric of
+// Fig. 7. Returns 1 for a perfectly balanced or empty load vector.
+func Skewness(loads []int64) float64 {
+	avg := avgOf(loads)
+	if avg == 0 {
+		return 1
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return float64(max) / avg
+}
+
+func avgOf(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var t int64
+	for _, l := range loads {
+		t += l
+	}
+	return float64(t) / float64(len(loads))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"repro/internal/tuple"
+)
+
+// Tracker accumulates per-key measurements inside the current interval
+// and maintains a ring of the last w intervals so S(k, w) can be
+// reported. One Tracker serves one operator; the engine's tasks feed it
+// and the controller snapshots it at interval boundaries (step 1 of the
+// Fig. 5 workflow).
+//
+// Tracker is not internally synchronized: in the engine each task owns
+// a private Tracker and the controller merges them, mirroring the
+// paper's per-instance load-reporting module.
+type Tracker struct {
+	window int
+	// cur accumulates the in-progress interval.
+	cur map[tuple.Key]*cell
+	// hist[j] holds a finished interval's per-key state sizes; the ring
+	// covers the last `window` finished intervals.
+	hist []map[tuple.Key]int64
+	// next is the ring index the next finished interval lands in.
+	next int
+	// finished counts completed intervals (for Interval stamping).
+	finished int64
+}
+
+type cell struct {
+	cost int64
+	freq int64
+	mem  int64
+}
+
+// NewTracker returns a tracker keeping a state window of w intervals.
+// w < 1 is clamped to 1 (the paper's minimum, instantaneous state).
+func NewTracker(w int) *Tracker {
+	if w < 1 {
+		w = 1
+	}
+	return &Tracker{
+		window: w,
+		cur:    make(map[tuple.Key]*cell),
+		hist:   make([]map[tuple.Key]int64, w),
+	}
+}
+
+// Window returns w.
+func (t *Tracker) Window() int { return t.window }
+
+// Observe charges one tuple's cost and state to its key in the current
+// interval.
+func (t *Tracker) Observe(tp tuple.Tuple) {
+	t.ObserveKey(tp.Key, tp.Cost, tp.StateSize)
+}
+
+// ObserveKey charges cost and state directly, letting workload drivers
+// skip tuple construction in tight loops.
+func (t *Tracker) ObserveKey(k tuple.Key, cost, state int64) {
+	c := t.cur[k]
+	if c == nil {
+		c = &cell{}
+		t.cur[k] = c
+	}
+	c.cost += cost
+	c.freq++
+	c.mem += state
+}
+
+// DropKey forgets all history for k. The state store calls this when a
+// key's state migrates away so the source task stops reporting it.
+func (t *Tracker) DropKey(k tuple.Key) {
+	delete(t.cur, k)
+	for _, h := range t.hist {
+		delete(h, k)
+	}
+}
+
+// AdoptKey seeds windowed memory for a key that just migrated in, so
+// S(k,w) remains continuous across migration. The memory is recorded in
+// the most recently finished interval slot (or the current one if none
+// has finished yet).
+func (t *Tracker) AdoptKey(k tuple.Key, mem int64) {
+	if t.finished == 0 {
+		c := t.cur[k]
+		if c == nil {
+			c = &cell{}
+			t.cur[k] = c
+		}
+		c.mem += mem
+		return
+	}
+	last := (t.next - 1 + t.window) % t.window
+	if t.hist[last] == nil {
+		t.hist[last] = make(map[tuple.Key]int64)
+	}
+	t.hist[last][k] += mem
+}
+
+// EndInterval closes the current interval, rolls the state window and
+// returns the per-key statistics of the finished interval: cost c(k),
+// frequency g(k) and the windowed memory S(k, w) including the interval
+// just finished.
+func (t *Tracker) EndInterval() map[tuple.Key]KeyStat {
+	// Roll the just-finished interval's state sizes into the ring,
+	// evicting the slot from w intervals ago (the paper's model: state
+	// from T_{i-w} is erased after T_i completes).
+	slot := make(map[tuple.Key]int64, len(t.cur))
+	for k, c := range t.cur {
+		slot[k] = c.mem
+	}
+	t.hist[t.next] = slot
+	t.next = (t.next + 1) % t.window
+	t.finished++
+
+	out := make(map[tuple.Key]KeyStat, len(t.cur))
+	for k, c := range t.cur {
+		out[k] = KeyStat{Key: k, Cost: c.cost, Freq: c.freq, Mem: t.WindowedMem(k)}
+	}
+	t.cur = make(map[tuple.Key]*cell)
+	return out
+}
+
+// WindowedMem returns S(k, w) = Σ_{j=i-w+1..i} s_j(k) over the finished
+// intervals currently in the window.
+func (t *Tracker) WindowedMem(k tuple.Key) int64 {
+	var s int64
+	for _, h := range t.hist {
+		s += h[k]
+	}
+	return s
+}
+
+// Finished returns the number of completed intervals.
+func (t *Tracker) Finished() int64 { return t.finished }
+
+// Assigner resolves a key's current and hash destinations; the route
+// package's Assignment satisfies it.
+type Assigner interface {
+	Dest(k tuple.Key) int
+	HashDest(k tuple.Key) int
+	Instances() int
+}
+
+// BuildSnapshot merges per-key stats (typically from Tracker.EndInterval,
+// possibly from several tasks) into a planner-ready Snapshot, resolving
+// each key's current and hash destinations through the assignment.
+func BuildSnapshot(interval int64, perKey map[tuple.Key]KeyStat, asg Assigner) *Snapshot {
+	s := &Snapshot{Interval: interval, ND: asg.Instances(), Keys: make([]KeyStat, 0, len(perKey))}
+	for k, ks := range perKey {
+		ks.Key = k
+		ks.Dest = asg.Dest(k)
+		ks.Hash = asg.HashDest(k)
+		s.Keys = append(s.Keys, ks)
+	}
+	SortByCostDesc(s.Keys)
+	return s
+}
+
+// MergeKeyStats adds src's per-key measurements into dst (cost, freq and
+// memory are additive; destinations are resolved later by
+// BuildSnapshot). Used by the controller to merge task-level reports.
+func MergeKeyStats(dst, src map[tuple.Key]KeyStat) {
+	for k, s := range src {
+		d := dst[k]
+		d.Key = k
+		d.Cost += s.Cost
+		d.Freq += s.Freq
+		d.Mem += s.Mem
+		dst[k] = d
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import "testing"
+
+func BenchmarkZipfRank(b *testing.B) {
+	s := NewZipfStream(100000, 0.85, 1.0, 10000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+func BenchmarkZipfAdvance(b *testing.B) {
+	s := NewZipfStream(100000, 0.85, 1.0, 100000, 1)
+	asg := fixedAsg(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance(asg)
+	}
+}
+
+func BenchmarkExpectedCounts(b *testing.B) {
+	d := NewZipf(100000, 0.85)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.ExpectedCounts(100000)
+	}
+}
+
+func BenchmarkTPCHNext(b *testing.B) {
+	g := NewTPCH(DefaultTPCHConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkStockNext(b *testing.B) {
+	s := NewStock(0, 0.85, 1)
+	s.Advance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

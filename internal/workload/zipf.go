@@ -1,0 +1,77 @@
+// Package workload provides the four workload families of the paper's
+// evaluation (§V): synthetic Zipf streams with controllable skew z and
+// fluctuation rate f, a Social microblog-like feed (many keys, slow
+// drift), a Stock trade tape (few keys, abrupt bursts), and a TPC-H
+// dbgen-lite row generator with Zipf-skewed foreign keys for the Q5
+// pipeline. All generators are deterministic given a seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is a discrete Zipf(z) distribution over ranks 1..K with
+// P(rank r) ∝ 1/r^z. Unlike math/rand.Zipf it accepts any z ≥ 0
+// (the paper sweeps z ∈ [0, 1], where stdlib requires s > 1).
+type Zipf struct {
+	K   int
+	Z   float64
+	cdf []float64 // cdf[i] = P(rank ≤ i+1)
+}
+
+// NewZipf precomputes the CDF for K ranks with skew z.
+func NewZipf(k int, z float64) *Zipf {
+	if k < 1 {
+		panic("workload: Zipf needs K ≥ 1")
+	}
+	d := &Zipf{K: k, Z: z, cdf: make([]float64, k)}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += 1 / math.Pow(float64(i+1), z)
+		d.cdf[i] = sum
+	}
+	for i := range d.cdf {
+		d.cdf[i] /= sum
+	}
+	return d
+}
+
+// Rank draws a rank in [1, K] (1 = hottest).
+func (d *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= d.K {
+		i = d.K - 1
+	}
+	return i + 1
+}
+
+// Prob returns P(rank r).
+func (d *Zipf) Prob(r int) float64 {
+	if r < 1 || r > d.K {
+		return 0
+	}
+	if r == 1 {
+		return d.cdf[0]
+	}
+	return d.cdf[r-1] - d.cdf[r-2]
+}
+
+// ExpectedCounts returns the expected number of tuples per rank when n
+// tuples are drawn — the planner-facing load shape without sampling
+// noise, used by the pure-algorithm experiments so results are exactly
+// reproducible.
+func (d *Zipf) ExpectedCounts(n int64) []int64 {
+	out := make([]int64, d.K)
+	var acc float64
+	var emitted int64
+	for r := 1; r <= d.K; r++ {
+		acc += d.Prob(r) * float64(n)
+		c := int64(acc) - emitted
+		emitted += c
+		out[r-1] = c
+	}
+	return out
+}
