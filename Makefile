@@ -1,0 +1,32 @@
+# Tier-1 verification and benchmarks for the repro module.
+
+GO ?= go
+
+.PHONY: verify build test vet bench bench-dataplane exhibits
+
+## verify: the tier-1 gate — vet, build, test everything.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: data-plane and planner micro-benchmarks.
+bench:
+	$(GO) test -bench . -benchmem -run XXX ./internal/...
+
+## bench-dataplane: write BENCH_dataplane.json (tuples/sec trajectory).
+bench-dataplane:
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json
+
+## exhibits: regenerate every paper exhibit.
+exhibits:
+	$(GO) run ./cmd/benchrunner

@@ -7,30 +7,51 @@
 //	benchrunner -exp fig08     # one exhibit
 //	benchrunner -exp fig07a,fig12
 //	benchrunner -list          # list exhibit ids
+//	benchrunner -dataplane BENCH_dataplane.json
+//	                           # measure the tuple hot path and write
+//	                           # tuples/sec as JSON (skips exhibits)
 //
 // Output rows correspond to the x-axis points of the paper's plots;
 // columns to its series. EXPERIMENTS.md interprets each against the
-// published shape.
+// published shape. The -dataplane report is the trajectory file future
+// perf PRs compare against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/hashring"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated exhibit ids, or 'all'")
-		list   = flag.Bool("list", false, "list exhibit ids and exit")
-		csvDir = flag.String("csv", "", "also write each exhibit as CSV into this directory")
+		exp       = flag.String("exp", "all", "comma-separated exhibit ids, or 'all'")
+		list      = flag.Bool("list", false, "list exhibit ids and exit")
+		csvDir    = flag.String("csv", "", "also write each exhibit as CSV into this directory")
+		dataplane = flag.String("dataplane", "", "measure data-plane tuples/sec and write the JSON report to this path (skips exhibits)")
 	)
 	flag.Parse()
+	if *dataplane != "" {
+		if err := writeDataplaneReport(*dataplane); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
@@ -74,4 +95,116 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no exhibit matched %q; use -list\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// dataplaneReport is the schema of BENCH_dataplane.json: tuples/sec
+// per hot-path measurement, so successive PRs can track the trajectory
+// of the batched data plane.
+type dataplaneReport struct {
+	Schema       string             `json:"schema"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
+}
+
+// writeDataplaneReport benchmarks the tuple hot path end to end and
+// writes the tuples/sec report. Measurements mirror the in-package
+// micro-benchmarks (BenchmarkFeedBatch, BenchmarkRingLookupLUT,
+// BenchmarkTrackerObserveBatch) plus a whole-engine interval rate.
+func writeDataplaneReport(path string) error {
+	mk := func(nd int) *engine.Stage {
+		return engine.NewStage("bench", nd, func(int) engine.Operator { return engine.Discard }, 1,
+			engine.NewAssignmentRouter(core.NewAssignment(nd)))
+	}
+	keys := make([]tuple.Tuple, 4096)
+	for i := range keys {
+		keys[i] = tuple.New(tuple.Key(uint64(i)*2654435761%4096), nil)
+	}
+	perTuple := func(r testing.BenchmarkResult) float64 {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		return 1e9 / ns
+	}
+	report := dataplaneReport{
+		Schema:       "dataplane-v1",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		TuplesPerSec: map[string]float64{},
+	}
+
+	feed := testing.Benchmark(func(b *testing.B) {
+		st := mk(10)
+		defer st.Stop()
+		for i := 0; i < b.N; i++ {
+			st.Feed(keys[i%len(keys)])
+		}
+		b.StopTimer()
+		st.Barrier()
+	})
+	report.TuplesPerSec["feed_per_tuple"] = perTuple(feed)
+
+	const batch = 1024
+	fb := testing.Benchmark(func(b *testing.B) {
+		st := mk(10)
+		defer st.Stop()
+		for n := 0; n < b.N; n += batch {
+			off := n % len(keys)
+			if off+batch > len(keys) {
+				off = 0
+			}
+			st.FeedBatch(keys[off : off+batch])
+		}
+		b.StopTimer()
+		st.Barrier()
+	})
+	report.TuplesPerSec["feed_batch"] = perTuple(fb)
+
+	ring := hashring.New(10, 0)
+	rl := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ring.Hash(tuple.Key(i))
+		}
+	})
+	report.TuplesPerSec["ring_lookup"] = perTuple(rl)
+
+	tr := stats.NewTracker(1)
+	ob := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n += batch {
+			off := n % len(keys)
+			if off+batch > len(keys) {
+				off = 0
+			}
+			tr.ObserveBatch(keys[off : off+batch])
+		}
+	})
+	report.TuplesPerSec["tracker_observe_batch"] = perTuple(ob)
+
+	var emittedTotal int64
+	ei := testing.Benchmark(func(b *testing.B) {
+		gen := workload.NewZipfStream(10000, 0.85, 0, 10000, 17)
+		sys := core.NewSystemBatch(core.Config{Instances: 10, Algorithm: core.AlgMixed, Budget: 10000, MinKeys: 64},
+			gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+		defer sys.Stop()
+		b.ResetTimer()
+		sys.Run(b.N)
+		b.StopTimer()
+		// Count what was actually emitted: backpressure can throttle
+		// intervals below Budget, and the trajectory metric must not
+		// report tuples that never flowed.
+		emittedTotal = 0
+		for _, m := range sys.Recorder().Series {
+			emittedTotal += m.Emitted
+		}
+	})
+	report.TuplesPerSec["engine_interval"] = float64(emittedTotal) / ei.T.Seconds()
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("data-plane report written to %s\n", path)
+	for k, v := range report.TuplesPerSec {
+		fmt.Printf("  %-22s %14.0f tuples/sec\n", k, v)
+	}
+	return nil
 }

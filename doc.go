@@ -10,10 +10,41 @@
 //
 // Entry points:
 //
-//   - internal/core: the embedding API (Config, NewSystem, planners)
-//   - cmd/benchrunner: regenerate any exhibit (-exp fig13)
+//   - internal/core: the embedding API (Config, NewSystem,
+//     NewSystemBatch, planners)
+//   - cmd/benchrunner: regenerate any exhibit (-exp fig13), or measure
+//     the tuple hot path (-dataplane BENCH_dataplane.json)
 //   - bench_test.go: the same exhibits as testing.B benchmarks
 //   - examples/: runnable demonstration topologies
+//
+// # Batched data plane
+//
+// The tuple hot path is batch-oriented end to end, so the per-tuple
+// overheads the paper's experiments would otherwise drown in are
+// amortized across hundreds of tuples:
+//
+//   - the engine draws tuples through a batch spout (engine.SpoutBatch,
+//     workload NextBatch methods) into a reusable scratch buffer;
+//   - engine.Stage.FeedBatch partitions a whole batch into
+//     per-destination slices under a single lock acquisition (an atomic
+//     paused-generation flag keeps the pause-key check off the fast
+//     path) and sends each task at most one channel message per batch,
+//     carved from a refcount-recycled buffer;
+//   - route.Assignment.DestBatch/DestTuples resolve destinations with
+//     the empty-table test and interface dispatch hoisted out of the
+//     per-tuple loop;
+//   - hashring.Ring precomputes a dense power-of-two lookup table at
+//     construction, making the consistent-hash lookup an O(1) masked
+//     array index (bit-identical to the exact ring search);
+//   - stats.Tracker accumulates per-key cells in an open-addressed
+//     value-cell table with a batch entry point (ObserveBatch), so a
+//     tuple costs one probe-and-update and a new key costs no
+//     allocation.
+//
+// Batching changes cost, not semantics: routing decisions, interval
+// boundaries and the pause/migrate/resume protocol are exactly those
+// of the per-tuple path (equivalence is pinned by tests; exhibit
+// outputs are bit-identical).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -18,14 +18,18 @@ func main() {
 	// default rate f = 1.0, 10,000 tuples per 1-second interval.
 	gen := workload.NewZipfStream(10000, 0.85, 1.0, 10000, 42)
 
-	sys := core.NewSystem(core.Config{
+	// NewSystemBatch wires the generator's batch draw straight into the
+	// engine's reusable emission buffer — the batched data plane end to
+	// end. (core.NewSystem with gen.Next behaves identically, one
+	// adapter slower.)
+	sys := core.NewSystemBatch(core.Config{
 		Instances: 10,   // N_D
 		ThetaMax:  0.08, // imbalance tolerance
 		TableMax:  3000, // A_max
 		Algorithm: core.AlgMixed,
 		Budget:    10000,
 		MinKeys:   64,
-	}, gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+	}, gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
 	defer sys.Stop()
 
 	// Fluctuations swap key frequencies between instances of the live

@@ -203,6 +203,16 @@ func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) 
 	return sys
 }
 
+// NewSystemBatch is NewSystem with a batch-capable spout: the engine
+// draws tuples straight into its reusable emission buffer (e.g.
+// gen.NextBatch from the workload generators), skipping the per-tuple
+// adapter on the hot path.
+func NewSystemBatch(cfg Config, spout engine.SpoutBatch, op func(id int) engine.Operator) *System {
+	sys := NewSystem(cfg, nil, op)
+	sys.Engine.SpoutB = spout
+	return sys
+}
+
 // newRouter builds the stage router matching the algorithm.
 func newRouter(cfg Config) engine.Router {
 	switch cfg.Algorithm {

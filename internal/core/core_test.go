@@ -131,3 +131,31 @@ func TestNewAssignmentPureHash(t *testing.T) {
 		t.Fatalf("NewAssignment = table %d, nd %d", a.Table().Len(), a.Instances())
 	}
 }
+
+func TestNewSystemBatchMatchesPerTuple(t *testing.T) {
+	// The batch-spout wiring must reproduce the per-tuple system's
+	// metrics exactly when fed the same generator sequence.
+	run := func(batch bool) []float64 {
+		gen := workload.NewZipfStream(5000, 0.85, 0, 5000, 21)
+		cfg := Config{Instances: 6, Algorithm: AlgMixed, Budget: 5000, MinKeys: 32}
+		var sys *System
+		if batch {
+			sys = NewSystemBatch(cfg, gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+		} else {
+			sys = NewSystem(cfg, gen.Next, func(int) engine.Operator { return engine.StatefulCount })
+		}
+		defer sys.Stop()
+		sys.Run(6)
+		var out []float64
+		for _, m := range sys.Recorder().Series {
+			out = append(out, m.Throughput, m.LatencyMs, m.Skewness)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("metric %d diverges: per-tuple %v ≠ batch %v", i, a[i], b[i])
+		}
+	}
+}

@@ -35,6 +35,58 @@ func BenchmarkEngineInterval(b *testing.B) {
 	}
 }
 
+// feedBenchStage builds a routing-focused stage (Discard operator) so
+// the Feed-vs-FeedBatch comparison measures the data plane — lock,
+// routing, channel, tracker — rather than operator state growth.
+func feedBenchStage(nd int) *Stage {
+	return NewStage("bench", nd, func(int) Operator { return Discard }, 1, newAsgRouter(nd))
+}
+
+// benchKeys cycles a bounded key set so tracker maps stay a fixed size
+// regardless of b.N.
+func benchKeys(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.New(tuple.Key(uint64(i)*2654435761%4096), nil)
+	}
+	return ts
+}
+
+// BenchmarkFeedPerTuple is the per-tuple baseline BenchmarkFeedBatch is
+// measured against: identical workload, one Feed call per tuple.
+func BenchmarkFeedPerTuple(b *testing.B) {
+	st := feedBenchStage(10)
+	defer st.Stop()
+	ts := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Feed(ts[i%len(ts)])
+	}
+	b.StopTimer()
+	st.Barrier()
+}
+
+// BenchmarkFeedBatch drives the same workload through the batched data
+// plane in engine-sized chunks; ns/op stays per-tuple comparable.
+func BenchmarkFeedBatch(b *testing.B) {
+	st := feedBenchStage(10)
+	defer st.Stop()
+	const batch = emitChunk
+	ts := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		off := n % len(ts)
+		if off+batch > len(ts) {
+			off = 0
+		}
+		st.FeedBatch(ts[off : off+batch])
+	}
+	b.StopTimer()
+	st.Barrier()
+}
+
 func BenchmarkMigrateKey(b *testing.B) {
 	st := statefulStage(2, 1)
 	defer st.Stop()

@@ -51,6 +51,16 @@ type Operator interface {
 	Process(ctx *TaskCtx, t tuple.Tuple)
 }
 
+// BatchOperator is an optional Operator extension: ProcessBatch
+// handles a whole contiguous batch of tuples on the task goroutine.
+// The task loop prefers it over per-tuple Process when implemented,
+// letting operators hoist interface dispatch and per-tuple setup out
+// of the loop. Semantics must match calling Process on each tuple in
+// order.
+type BatchOperator interface {
+	ProcessBatch(ctx *TaskCtx, ts []tuple.Tuple)
+}
+
 // IntervalFlusher is an optional Operator extension: FlushInterval runs
 // on the task goroutine at the end of every interval, before statistics
 // harvest, and may Emit — the hook periodic emitters (partial-aggregate
@@ -68,12 +78,29 @@ func (f OperatorFunc) Process(ctx *TaskCtx, t tuple.Tuple) { f(ctx, t) }
 
 // Discard is an Operator that consumes tuples, charging their cost to
 // the task but keeping no state — a stand-in sink for routing-focused
-// experiments.
-var Discard Operator = OperatorFunc(func(ctx *TaskCtx, t tuple.Tuple) {})
+// experiments. It implements BatchOperator, so a batch costs no
+// per-tuple dispatch at all.
+var Discard Operator = discardOp{}
+
+type discardOp struct{}
+
+func (discardOp) Process(ctx *TaskCtx, t tuple.Tuple)         {}
+func (discardOp) ProcessBatch(ctx *TaskCtx, ts []tuple.Tuple) {}
 
 // StatefulCount is a minimal stateful Operator: it appends each tuple
 // to the key's windowed state (size = t.StateSize), so state volumes
-// and migration costs behave like the paper's word-count topology.
-var StatefulCount Operator = OperatorFunc(func(ctx *TaskCtx, t tuple.Tuple) {
+// and migration costs behave like the paper's word-count topology. Its
+// BatchOperator form runs the store appends in a tight loop.
+var StatefulCount Operator = statefulCountOp{}
+
+type statefulCountOp struct{}
+
+func (statefulCountOp) Process(ctx *TaskCtx, t tuple.Tuple) {
 	ctx.Store.Add(t.Key, state.Entry{Value: t.Value, Size: t.StateSize})
-})
+}
+
+func (statefulCountOp) ProcessBatch(ctx *TaskCtx, ts []tuple.Tuple) {
+	for i := range ts {
+		ctx.Store.Add(ts[i].Key, state.Entry{Value: ts[i].Value, Size: ts[i].StateSize})
+	}
+}

@@ -63,9 +63,12 @@ type ShuffleRouter struct {
 // NewShuffleRouter builds an nd-way round-robin router.
 func NewShuffleRouter(nd int) *ShuffleRouter { return &ShuffleRouter{nd: nd} }
 
-// Route implements Router.
+// Route implements Router. The round-robin starts at instance 0:
+// AddUint64 returns the post-increment value, so the pre-increment
+// counter is recovered by subtracting one — otherwise the first wrap
+// would serve instance 0 one tuple short.
 func (s *ShuffleRouter) Route(t tuple.Tuple) int {
-	n := atomic.AddUint64(&s.next, 1)
+	n := atomic.AddUint64(&s.next, 1) - 1
 	return int(n % uint64(s.nd))
 }
 

@@ -19,6 +19,19 @@ func TestRouterInstanceCounts(t *testing.T) {
 	}
 }
 
+func TestShuffleRouterStartsAtZero(t *testing.T) {
+	// Round-robin must begin at instance 0 and wrap exactly: the old
+	// post-increment routing started at 1, shorting instance 0 on the
+	// first wrap.
+	r := NewShuffleRouter(3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := r.Route(tuple.New(tuple.Key(i), nil)); got != w {
+			t.Fatalf("shuffle draw %d routed to %d, want %d (sequence %v)", i, got, w, want)
+		}
+	}
+}
+
 func TestPKGRouterRoutesWithinRange(t *testing.T) {
 	r := PKGRouter{R: pkgpart.NewRouter(4)}
 	for i := 0; i < 200; i++ {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/balance"
 	"repro/internal/hashring"
@@ -30,6 +31,26 @@ type Stage struct {
 	mu     sync.Mutex
 	paused map[tuple.Key]struct{}
 	held   []tuple.Tuple
+	// pausedGen is nonzero while a pause epoch is active (maintained
+	// only by PauseKeys/Resume, under mu; equivalent to len(paused) > 0
+	// there). It is an atomic so the feed paths' fast-path check stays
+	// valid if a future lock-free segment reads it before taking mu.
+	pausedGen atomic.Uint32
+	// inflight counts feed calls that routed under mu but have not yet
+	// finished their channel sends (sends run outside the lock so task
+	// backpressure cannot block pause/resume). ApplyPlanLive drains it
+	// after pausing: once zero, every tuple routed under the old
+	// assignment is in its task queue, so the extraction barriers see a
+	// complete window. Increments happen under mu; the decrement is
+	// atomic and only takes mu to signal when a drainer is waiting.
+	inflight     atomic.Int64
+	draining     atomic.Bool
+	inflightZero *sync.Cond
+
+	// FeedBatch partition scratch, guarded by mu (FeedBatch may be
+	// entered concurrently by the feeder and by Resume's held replay).
+	scratchDst []int
+	scratchOff []int
 
 	// Per-interval arrival accounting (cost units / tuples per task),
 	// reset at EndInterval; feeds the performance model.
@@ -59,6 +80,7 @@ func NewStage(name string, nd int, op func(id int) Operator, w int, router Route
 		Backlog:       make([]int64, nd),
 		MigPenalty:    make([]int64, nd),
 	}
+	s.inflightZero = sync.NewCond(&s.mu)
 	for i := 0; i < nd; i++ {
 		s.tasks = append(s.tasks, newTask(i, op(i), w))
 	}
@@ -80,10 +102,12 @@ func (s *Stage) AssignmentRouter() *AssignmentRouter {
 
 // Feed routes one tuple into the stage. Must be called from a single
 // feeding goroutine. Tuples for paused keys are held (the upstream
-// cache of Fig. 5 step 4) and delivered by Resume.
+// cache of Fig. 5 step 4) and delivered by Resume. FeedBatch is the
+// batch-oriented fast path; Feed remains for tests and fine-grained
+// callers.
 func (s *Stage) Feed(t tuple.Tuple) {
 	s.mu.Lock()
-	if len(s.paused) > 0 {
+	if s.pausedGen.Load() != 0 {
 		if _, p := s.paused[t.Key]; p {
 			s.held = append(s.held, t)
 			s.mu.Unlock()
@@ -93,10 +117,119 @@ func (s *Stage) Feed(t tuple.Tuple) {
 	d := s.router.Route(t)
 	s.arrivedCost[d] += t.Cost
 	s.arrivedTuples[d]++
+	s.inflight.Add(1)
 	s.mu.Unlock()
 	// Channel send outside the lock: a full task queue must exert
 	// backpressure on the feeder without blocking pause/resume.
 	s.tasks[d].send(t)
+	s.sendDone()
+}
+
+// sendDone retires one in-flight feed call. The fast path is a single
+// atomic decrement; only the send that drops the count to zero while
+// ApplyPlanLive is draining pays for the lock to signal it. (A drainer
+// that starts after our decrement sees inflight == 0 under mu and
+// never waits, so the skipped broadcast cannot be missed.)
+func (s *Stage) sendDone() {
+	if s.inflight.Add(-1) == 0 && s.draining.Load() {
+		s.mu.Lock()
+		s.inflightZero.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// FeedBatch routes a whole batch of tuples into the stage under a
+// single lock acquisition: destinations are resolved through the batch
+// routing path, tuples are partitioned into per-destination slices, and
+// each task receives at most one channel message — amortizing the lock,
+// the routing indirection and the channel operations across hundreds of
+// tuples. Tuples are copied out of ts, so the caller may reuse the
+// slice immediately. Pause semantics match Feed: tuples for paused keys
+// are held upstream and delivered by Resume.
+func (s *Stage) FeedBatch(ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	nd := len(s.tasks)
+	if cap(s.scratchDst) < len(ts) {
+		s.scratchDst = make([]int, len(ts))
+	}
+	dst := s.scratchDst[:len(ts)]
+	n := len(ts) // tuples routed this call (len(ts) minus any held)
+	if s.pausedGen.Load() != 0 {
+		// Pause epochs are rare and brief: per-tuple slow path.
+		n = 0
+		for i := range ts {
+			if _, p := s.paused[ts[i].Key]; p {
+				s.held = append(s.held, ts[i])
+				dst[i] = -1
+				continue
+			}
+			dst[i] = s.router.Route(ts[i])
+			n++
+		}
+	} else if ar, ok := s.router.(*AssignmentRouter); ok {
+		ar.Assignment().DestTuples(ts, dst)
+	} else {
+		for i := range ts {
+			dst[i] = s.router.Route(ts[i])
+		}
+	}
+
+	// Count per destination (into bounds[d+1]). bounds is a per-call
+	// allocation because it is read after the lock is released, where
+	// the scratch fields are no longer ours.
+	bounds := make([]int, nd+1)
+	active := 0
+	for _, d := range dst {
+		if d >= 0 {
+			bounds[d+1]++
+		}
+	}
+	for d := 0; d < nd; d++ {
+		if bounds[d+1] > 0 {
+			active++
+			s.arrivedTuples[d] += int64(bounds[d+1])
+		}
+		bounds[d+1] += bounds[d]
+	}
+	if active == 0 {
+		s.mu.Unlock()
+		return
+	}
+	// Carve contiguous per-destination regions out of a recycled
+	// backing array; the tasks hand it back to the pool once the last
+	// subslice is processed, so steady state allocates nothing per
+	// batch.
+	bb := batchBufPool.Get().(*batchBuf)
+	if cap(bb.data) < n {
+		bb.data = make([]tuple.Tuple, n)
+	}
+	bb.refs.Store(int32(active))
+	buf := bb.data[:n]
+	if cap(s.scratchOff) < nd {
+		s.scratchOff = make([]int, nd)
+	}
+	off := s.scratchOff[:nd]
+	copy(off, bounds[:nd])
+	for i := range ts {
+		if d := dst[i]; d >= 0 {
+			buf[off[d]] = ts[i]
+			off[d]++
+			s.arrivedCost[d] += ts[i].Cost
+		}
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	// Channel sends outside the lock, as in Feed: a full task queue must
+	// exert backpressure on the feeder without blocking pause/resume.
+	for d := 0; d < nd; d++ {
+		if lo, hi := bounds[d], bounds[d+1]; hi > lo {
+			s.tasks[d].sendBatch(buf[lo:hi:hi], bb)
+		}
+	}
+	s.sendDone()
 }
 
 // Barrier waits until every task has drained its queue.
@@ -170,12 +303,15 @@ func (s *Stage) EndInterval(interval int64) *stats.Snapshot {
 }
 
 // PauseKeys enters the pause phase for the given keys: subsequent Feed
-// calls hold their tuples upstream.
+// and FeedBatch calls hold their tuples upstream.
 func (s *Stage) PauseKeys(keys []tuple.Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, k := range keys {
 		s.paused[k] = struct{}{}
+	}
+	if len(s.paused) > 0 {
+		s.pausedGen.Store(1)
 	}
 }
 
@@ -183,13 +319,12 @@ func (s *Stage) PauseKeys(keys []tuple.Key) {
 // (possibly new) assignment — step 7 of Fig. 5.
 func (s *Stage) Resume() {
 	s.mu.Lock()
-	s.paused = make(map[tuple.Key]struct{})
+	s.pausedGen.Store(0)
+	clear(s.paused)
 	held := s.held
 	s.held = nil
 	s.mu.Unlock()
-	for _, t := range held {
-		s.Feed(t)
-	}
+	s.FeedBatch(held)
 }
 
 // ApplyPlanLive executes a rebalance plan while traffic is flowing:
@@ -206,6 +341,19 @@ func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
 		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
 	}
 	s.PauseKeys(plan.Moved)
+	// Drain in-flight sends: a feed call may have routed tuples under
+	// the pre-pause assignment but not yet enqueued them (sends happen
+	// outside the lock). Waiting for inflight == 0 guarantees those
+	// tuples are in their task queues before the extraction barriers
+	// run, so no migrating key's tuple can land on the old owner after
+	// its state has been extracted.
+	s.mu.Lock()
+	s.draining.Store(true)
+	for s.inflight.Load() > 0 {
+		s.inflightZero.Wait()
+	}
+	s.draining.Store(false)
+	s.mu.Unlock()
 	old := ar.Assignment()
 	var moved int64
 	for _, k := range plan.Moved {
@@ -215,8 +363,8 @@ func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
 			continue
 		}
 		// Extract on the source task's goroutine: channel FIFO means
-		// every tuple enqueued before the pause is processed first, so
-		// the extracted window is complete.
+		// every tuple enqueued before the pause (and drained above) is
+		// processed first, so the extracted window is complete.
 		var m state.Migrated
 		var mem int64
 		s.tasks[src].barrier(func(ctx *TaskCtx) {

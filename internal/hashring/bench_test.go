@@ -14,6 +14,25 @@ func BenchmarkHash(b *testing.B) {
 	}
 }
 
+// BenchmarkRingLookupLUT vs BenchmarkRingLookupSearch measures the
+// dense-LUT fast path against the O(log n·replicas) binary search it
+// replaced on the per-tuple routing path.
+func BenchmarkRingLookupLUT(b *testing.B) {
+	r := New(10, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Hash(tuple.Key(i))
+	}
+}
+
+func BenchmarkRingLookupSearch(b *testing.B) {
+	r := New(10, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.searchHash(mix(uint64(i)))
+	}
+}
+
 func BenchmarkNewRing(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -30,6 +30,18 @@ type Ring struct {
 	points   []point
 	n        int
 	replicas int
+
+	// lut is a dense power-of-two successor table built at construction,
+	// making Hash an O(1) masked array index on the hot path. Bucket i
+	// covers the hash range [i<<shift, (i+1)<<shift): buckets containing
+	// no ring point store the owning instance directly (every hash in
+	// such a bucket has the same clockwise successor), buckets containing
+	// one or more points store -1 and fall back to the exact binary
+	// search over the ring. With lutFactor× more buckets than points the
+	// fast path covers the vast majority of lookups while results stay
+	// bit-identical to the search.
+	lut   []int32
+	shift uint
 }
 
 type point struct {
@@ -65,7 +77,48 @@ func New(n, replicas int) *Ring {
 		}
 		return r.points[i].inst < r.points[j].inst
 	})
+	r.buildLUT()
 	return r
+}
+
+// lutFactor oversizes the lookup table relative to the point count so
+// most buckets are point-free (the O(1) path); maxLUTBits caps the
+// table at 4 MiB of int32 entries for very large rings.
+const (
+	lutFactor  = 8
+	maxLUTBits = 20
+)
+
+// buildLUT precomputes the successor table from the sorted point list.
+// It walks points and buckets together from high hash to low, so every
+// empty bucket is stamped with the instance of the first point above it
+// (wrapping to points[0] past the top of the circle).
+func (r *Ring) buildLUT() {
+	bits := uint(1)
+	for 1<<bits < len(r.points)*lutFactor && bits < maxLUTBits {
+		bits++
+	}
+	size := 1 << bits
+	shift := 64 - bits
+	lut := make([]int32, size)
+	succ := int32(r.points[0].inst) // wrap successor for the top arc
+	b := size - 1
+	for pi := len(r.points) - 1; pi >= 0; {
+		pb := int(r.points[pi].hash >> shift)
+		for ; b > pb; b-- {
+			lut[b] = succ
+		}
+		lut[pb] = -1 // bucket holds ring points: exact search decides
+		for pi >= 0 && int(r.points[pi].hash>>shift) == pb {
+			succ = int32(r.points[pi].inst)
+			pi--
+		}
+		b = pb - 1
+	}
+	for ; b >= 0; b-- {
+		lut[b] = succ
+	}
+	r.lut, r.shift = lut, shift
 }
 
 // Grow returns a new ring with one more instance, leaving r untouched.
@@ -82,7 +135,47 @@ func (r *Ring) Instances() int { return r.n }
 // Hash returns the default destination instance for key k.
 func (r *Ring) Hash(k tuple.Key) int {
 	h := mix(uint64(k))
-	// Binary search for the first point with hash ≥ h, wrapping.
+	if d := r.lut[h>>r.shift]; d >= 0 {
+		return int(d)
+	}
+	return r.searchHash(h)
+}
+
+// HashBatch resolves a whole batch of keys in one call, writing
+// dsts[i] = Hash(keys[i]). The mix+LUT fast path runs as a tight loop
+// with no per-key interface dispatch, which is what the batched
+// routing path (route.Assignment.DestBatch) wants.
+func (r *Ring) HashBatch(keys []tuple.Key, dsts []int) {
+	lut, shift := r.lut, r.shift
+	for i, k := range keys {
+		h := mix(uint64(k))
+		if d := lut[h>>shift]; d >= 0 {
+			dsts[i] = int(d)
+		} else {
+			dsts[i] = r.searchHash(h)
+		}
+	}
+}
+
+// HashTuples is HashBatch straight off a tuple slice: dsts[i] =
+// Hash(ts[i].Key) without a separate key-extraction pass.
+func (r *Ring) HashTuples(ts []tuple.Tuple, dsts []int) {
+	lut, shift := r.lut, r.shift
+	for i := range ts {
+		h := mix(uint64(ts[i].Key))
+		if d := lut[h>>shift]; d >= 0 {
+			dsts[i] = int(d)
+		} else {
+			dsts[i] = r.searchHash(h)
+		}
+	}
+}
+
+// searchHash is the exact ring lookup: binary search for the first
+// point with hash ≥ h, wrapping. The LUT fast path delegates here for
+// the rare buckets that contain ring points; Grow rebuilds from the
+// exact point list, so the LUT is purely an acceleration structure.
+func (r *Ring) searchHash(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0

@@ -94,6 +94,43 @@ func TestNewPanicsOnZeroInstances(t *testing.T) {
 	New(0, 0)
 }
 
+func TestLUTMatchesBinarySearch(t *testing.T) {
+	// The LUT is an acceleration structure only: for every key, the O(1)
+	// path must return exactly what the exact ring search would.
+	for _, nd := range []int{1, 2, 3, 10, 40, 64} {
+		r := New(nd, 0)
+		for k := tuple.Key(0); k < 20000; k++ {
+			h := mix(uint64(k))
+			if got, want := r.Hash(k), r.searchHash(h); got != want {
+				t.Fatalf("nd=%d key %d: LUT hash %d ≠ search %d", nd, k, got, want)
+			}
+		}
+	}
+	// Adversarial hashes: values landing exactly on and around ring
+	// points, where bucket boundaries matter most.
+	r := New(10, 0)
+	for _, p := range r.points {
+		for _, h := range []uint64{p.hash - 1, p.hash, p.hash + 1} {
+			if got, want := r.lut[h>>r.shift], int32(-1); got != want && int(got) != r.searchHash(h) {
+				t.Fatalf("hash %#x: LUT bucket %d disagrees with search %d", h, got, r.searchHash(h))
+			}
+		}
+	}
+}
+
+func TestLUTSizedToRing(t *testing.T) {
+	r := New(10, 0)
+	if len(r.lut) < len(r.points) {
+		t.Fatalf("LUT %d entries for %d points: too coarse to be useful", len(r.lut), len(r.points))
+	}
+	if len(r.lut)&(len(r.lut)-1) != 0 {
+		t.Fatalf("LUT size %d is not a power of two", len(r.lut))
+	}
+	if len(r.lut) > 1<<maxLUTBits {
+		t.Fatalf("LUT size %d exceeds cap", len(r.lut))
+	}
+}
+
 func TestCustomReplicas(t *testing.T) {
 	r := New(3, 16)
 	if r.replicas != 16 {
@@ -101,5 +138,29 @@ func TestCustomReplicas(t *testing.T) {
 	}
 	if len(r.points) != 3*16 {
 		t.Fatalf("points = %d, want 48", len(r.points))
+	}
+}
+
+func TestHashBatchFormsMatchHash(t *testing.T) {
+	r := New(7, 0)
+	const n = 5000
+	keys := make([]tuple.Key, n)
+	ts := make([]tuple.Tuple, n)
+	for i := range keys {
+		keys[i] = tuple.Key(i * 31)
+		ts[i].Key = keys[i]
+	}
+	got := make([]int, n)
+	r.HashBatch(keys, got)
+	for i, k := range keys {
+		if want := r.Hash(k); got[i] != want {
+			t.Fatalf("HashBatch[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	r.HashTuples(ts, got)
+	for i, k := range keys {
+		if want := r.Hash(k); got[i] != want {
+			t.Fatalf("HashTuples[%d] = %d, want %d", i, got[i], want)
+		}
 	}
 }

@@ -24,6 +24,17 @@ type Hasher interface {
 	Instances() int
 }
 
+// BatchHasher is an optional Hasher extension: HashBatch writes
+// dsts[i] = Hash(keys[i]) for a whole batch in one call, letting the
+// implementation keep its fast path in a tight loop instead of paying
+// an interface dispatch per key. *hashring.Ring implements it, along
+// with the tuple-slice form used by the engine's feeder (which saves a
+// key-extraction pass over the batch).
+type BatchHasher interface {
+	HashBatch(keys []tuple.Key, dsts []int)
+	HashTuples(ts []tuple.Tuple, dsts []int)
+}
+
 // ModHasher is a trivial Hasher (k mod n) used by unit tests and by
 // planner micro-benchmarks where ring lookups would dominate.
 type ModHasher int
@@ -96,6 +107,11 @@ func (t *Table) Each(fn func(k tuple.Key, d int)) {
 type Assignment struct {
 	table *Table
 	hash  Hasher
+	// empty caches table.Len() == 0 at construction so the common
+	// hash-only assignment (the Storm baseline, and every pre-rebalance
+	// interval) skips the map probe entirely on the per-tuple path. The
+	// cache is sound because wrapped tables are immutable snapshots.
+	empty bool
 }
 
 // NewAssignment pairs a routing table with a hasher. A nil table is
@@ -104,15 +120,73 @@ func NewAssignment(table *Table, hash Hasher) *Assignment {
 	if table == nil {
 		table = NewTable()
 	}
-	return &Assignment{table: table, hash: hash}
+	return &Assignment{table: table, hash: hash, empty: len(table.m) == 0}
 }
 
 // Dest evaluates F(k).
 func (a *Assignment) Dest(k tuple.Key) int {
-	if d, ok := a.table.Lookup(k); ok {
+	if a.empty {
+		return a.hash.Hash(k)
+	}
+	if d, ok := a.table.m[k]; ok {
 		return d
 	}
 	return a.hash.Hash(k)
+}
+
+// DestBatch evaluates F over a whole batch, writing dsts[i] =
+// F(keys[i]). Hoisting the empty-table test and the interface
+// indirection out of the per-tuple call chain is what keeps routing off
+// the profile when the engine feeds tuples hundreds at a time.
+func (a *Assignment) DestBatch(keys []tuple.Key, dsts []int) {
+	if len(keys) == 0 {
+		return
+	}
+	dsts = dsts[:len(keys)]
+	if a.empty {
+		if bh, ok := a.hash.(BatchHasher); ok {
+			bh.HashBatch(keys, dsts)
+			return
+		}
+		for i, k := range keys {
+			dsts[i] = a.hash.Hash(k)
+		}
+		return
+	}
+	for i, k := range keys {
+		if d, ok := a.table.m[k]; ok {
+			dsts[i] = d
+		} else {
+			dsts[i] = a.hash.Hash(k)
+		}
+	}
+}
+
+// DestTuples is DestBatch straight off a tuple slice: dsts[i] =
+// F(ts[i].Key) with no separate key-extraction pass — the form the
+// engine's batched feeder uses.
+func (a *Assignment) DestTuples(ts []tuple.Tuple, dsts []int) {
+	if len(ts) == 0 {
+		return
+	}
+	dsts = dsts[:len(ts)]
+	if a.empty {
+		if bh, ok := a.hash.(BatchHasher); ok {
+			bh.HashTuples(ts, dsts)
+			return
+		}
+		for i := range ts {
+			dsts[i] = a.hash.Hash(ts[i].Key)
+		}
+		return
+	}
+	for i := range ts {
+		if d, ok := a.table.m[ts[i].Key]; ok {
+			dsts[i] = d
+		} else {
+			dsts[i] = a.hash.Hash(ts[i].Key)
+		}
+	}
 }
 
 // HashDest evaluates the hash half h(k) regardless of the table.

@@ -147,3 +147,40 @@ func TestInstances(t *testing.T) {
 		t.Fatalf("Instances = %d, want 7", a.Instances())
 	}
 }
+
+func TestDestBatchAndDestTuplesMatchDest(t *testing.T) {
+	// Both batch forms must agree with per-key Dest, with and without
+	// routing-table entries, over a real ring hasher.
+	tab := NewTable()
+	for k := tuple.Key(0); k < 50; k += 7 {
+		tab.Put(k, int(k)%5)
+	}
+	for _, a := range []*Assignment{
+		NewAssignment(tab, hashring.New(5, 0)),
+		NewAssignment(NewTable(), hashring.New(5, 0)), // empty-table fast path
+	} {
+		const n = 300
+		keys := make([]tuple.Key, n)
+		ts := make([]tuple.Tuple, n)
+		for i := range keys {
+			keys[i] = tuple.Key(i * 13)
+			ts[i] = tuple.New(keys[i], nil)
+		}
+		got := make([]int, n)
+		a.DestBatch(keys, got)
+		for i, k := range keys {
+			if want := a.Dest(k); got[i] != want {
+				t.Fatalf("DestBatch[%d] key %d = %d, want %d", i, k, got[i], want)
+			}
+		}
+		a.DestTuples(ts, got)
+		for i, k := range keys {
+			if want := a.Dest(k); got[i] != want {
+				t.Fatalf("DestTuples[%d] key %d = %d, want %d", i, k, got[i], want)
+			}
+		}
+	}
+	// Empty batches are no-ops.
+	NewAssignment(nil, ModHasher(3)).DestBatch(nil, nil)
+	NewAssignment(nil, ModHasher(3)).DestTuples(nil, nil)
+}

@@ -15,8 +15,11 @@ import (
 // paper's per-instance load-reporting module.
 type Tracker struct {
 	window int
-	// cur accumulates the in-progress interval.
-	cur map[tuple.Key]*cell
+	// cur accumulates the in-progress interval in an open-addressed
+	// table of value cells: one probe-and-update per observation (a Go
+	// map would cost a hashed access plus a hashed assign), no per-key
+	// cell allocation, and a linear scan at harvest time.
+	cur cellTab
 	// hist[j] holds a finished interval's per-key state sizes; the ring
 	// covers the last `window` finished intervals.
 	hist []map[tuple.Key]int64
@@ -26,10 +29,122 @@ type Tracker struct {
 	finished int64
 }
 
+// cell is one key's in-progress interval accumulator.
 type cell struct {
+	key  tuple.Key
+	live bool
 	cost int64
 	freq int64
 	mem  int64
+}
+
+// cellTab is a power-of-two open-addressed table with linear probing
+// and backward-shift deletion. It exists because the tracker update is
+// on the engine's per-tuple path: upsert is a splitmix hash, a masked
+// index and (almost always) one cache line touched.
+type cellTab struct {
+	cells  []cell
+	mask   uint64
+	n      int
+	growAt int
+}
+
+const cellTabMinSize = 64
+
+func (t *cellTab) init(size int) {
+	t.cells = make([]cell, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+	t.growAt = size * 3 / 4
+}
+
+// upsert returns the live cell for k, inserting a zero cell if absent.
+// The pointer is valid until the next upsert (which may grow the
+// table).
+func (t *cellTab) upsert(k tuple.Key) *cell {
+	if t.cells == nil {
+		t.init(cellTabMinSize)
+	} else if t.n >= t.growAt {
+		t.grow()
+	}
+	i := cellHash(k) & t.mask
+	for {
+		c := &t.cells[i]
+		if !c.live {
+			c.key = k
+			c.live = true
+			t.n++
+			return c
+		}
+		if c.key == k {
+			return c
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *cellTab) grow() {
+	old := t.cells
+	t.init(len(old) * 2)
+	for i := range old {
+		if old[i].live {
+			c := t.upsert(old[i].key)
+			*c = old[i]
+		}
+	}
+}
+
+// del removes k's cell, if present, restoring the probe invariant by
+// backward-shifting any displaced successors into the hole.
+func (t *cellTab) del(k tuple.Key) {
+	if t.n == 0 {
+		return
+	}
+	i := cellHash(k) & t.mask
+	for t.cells[i].key != k || !t.cells[i].live {
+		if !t.cells[i].live {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.n--
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if !t.cells[j].live {
+			break
+		}
+		h := cellHash(t.cells[j].key) & t.mask
+		if (j-h)&t.mask >= (j-i)&t.mask {
+			t.cells[i] = t.cells[j]
+			i = j
+		}
+	}
+	t.cells[i] = cell{}
+}
+
+// reset clears every cell, keeping capacity for the next interval.
+func (t *cellTab) reset() {
+	clear(t.cells)
+	t.n = 0
+}
+
+// each calls fn for every live cell.
+func (t *cellTab) each(fn func(*cell)) {
+	for i := range t.cells {
+		if t.cells[i].live {
+			fn(&t.cells[i])
+		}
+	}
+}
+
+// cellHash is splitmix64, matching the ring's key mixing: fast and
+// well-distributed for the small-integer keys synthetic workloads use.
+func cellHash(k tuple.Key) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewTracker returns a tracker keeping a state window of w intervals.
@@ -40,7 +155,6 @@ func NewTracker(w int) *Tracker {
 	}
 	return &Tracker{
 		window: w,
-		cur:    make(map[tuple.Key]*cell),
 		hist:   make([]map[tuple.Key]int64, w),
 	}
 }
@@ -57,20 +171,62 @@ func (t *Tracker) Observe(tp tuple.Tuple) {
 // ObserveKey charges cost and state directly, letting workload drivers
 // skip tuple construction in tight loops.
 func (t *Tracker) ObserveKey(k tuple.Key, cost, state int64) {
-	c := t.cur[k]
-	if c == nil {
-		c = &cell{}
-		t.cur[k] = c
-	}
+	c := t.cur.upsert(k)
 	c.cost += cost
 	c.freq++
 	c.mem += state
 }
 
+// ObserveBatch folds a whole batch of tuples into the current interval
+// with one call, the entry point the engine's task loop uses so tracker
+// accounting is amortized across every tuple of a channel message. It
+// returns the batch's total cost, already read during the single pass,
+// so callers charging processed-cost accounting need no second pass.
+func (t *Tracker) ObserveBatch(ts []tuple.Tuple) int64 {
+	tab := &t.cur
+	if tab.cells == nil {
+		tab.init(cellTabMinSize)
+	}
+	cells, mask := tab.cells, tab.mask
+	var total int64
+	for i := range ts {
+		// Grow on demand, sized by live keys — not by batch length,
+		// which over-allocates badly when a huge batch cycles few keys.
+		if tab.n >= tab.growAt {
+			tab.grow()
+			cells, mask = tab.cells, tab.mask
+		}
+		k := ts[i].Key
+		j := cellHash(k) & mask
+		for {
+			c := &cells[j]
+			if c.live {
+				if c.key == k {
+					c.cost += ts[i].Cost
+					c.freq++
+					c.mem += ts[i].StateSize
+					break
+				}
+				j = (j + 1) & mask
+				continue
+			}
+			c.key = k
+			c.live = true
+			tab.n++
+			c.cost = ts[i].Cost
+			c.freq = 1
+			c.mem = ts[i].StateSize
+			break
+		}
+		total += ts[i].Cost
+	}
+	return total
+}
+
 // DropKey forgets all history for k. The state store calls this when a
 // key's state migrates away so the source task stops reporting it.
 func (t *Tracker) DropKey(k tuple.Key) {
-	delete(t.cur, k)
+	t.cur.del(k)
 	for _, h := range t.hist {
 		delete(h, k)
 	}
@@ -82,12 +238,7 @@ func (t *Tracker) DropKey(k tuple.Key) {
 // has finished yet).
 func (t *Tracker) AdoptKey(k tuple.Key, mem int64) {
 	if t.finished == 0 {
-		c := t.cur[k]
-		if c == nil {
-			c = &cell{}
-			t.cur[k] = c
-		}
-		c.mem += mem
+		t.cur.upsert(k).mem += mem
 		return
 	}
 	last := (t.next - 1 + t.window) % t.window
@@ -105,19 +256,19 @@ func (t *Tracker) EndInterval() map[tuple.Key]KeyStat {
 	// Roll the just-finished interval's state sizes into the ring,
 	// evicting the slot from w intervals ago (the paper's model: state
 	// from T_{i-w} is erased after T_i completes).
-	slot := make(map[tuple.Key]int64, len(t.cur))
-	for k, c := range t.cur {
-		slot[k] = c.mem
-	}
+	slot := make(map[tuple.Key]int64, t.cur.n)
+	t.cur.each(func(c *cell) {
+		slot[c.key] = c.mem
+	})
 	t.hist[t.next] = slot
 	t.next = (t.next + 1) % t.window
 	t.finished++
 
-	out := make(map[tuple.Key]KeyStat, len(t.cur))
-	for k, c := range t.cur {
-		out[k] = KeyStat{Key: k, Cost: c.cost, Freq: c.freq, Mem: t.WindowedMem(k)}
-	}
-	t.cur = make(map[tuple.Key]*cell)
+	out := make(map[tuple.Key]KeyStat, t.cur.n)
+	t.cur.each(func(c *cell) {
+		out[c.key] = KeyStat{Key: c.key, Cost: c.cost, Freq: c.freq, Mem: t.WindowedMem(c.key)}
+	})
+	t.cur.reset()
 	return out
 }
 

@@ -39,11 +39,16 @@ func KeyOf(s string) Key {
 // Tuple is one stream element. Value is free-form payload; Cost is the
 // simulated CPU cost c charged when the tuple is processed; StateSize is
 // the memory s the tuple contributes to the key's windowed state.
+//
+// Field order is deliberate: Key, Cost and StateSize — the fields the
+// data plane (routing, arrival accounting, statistics) touches per
+// tuple — sit in the first 24 bytes so hot-path scans over tuple
+// batches read one cache line per tuple as often as possible.
 type Tuple struct {
 	Key       Key
-	Value     any
 	Cost      int64
 	StateSize int64
+	Value     any
 	// Stream tags the logical stream the tuple belongs to, used by
 	// multi-input operators such as joins (e.g. "R" and "S").
 	Stream string

@@ -75,6 +75,21 @@ func (s *ZipfStream) Next() tuple.Tuple {
 	return t
 }
 
+// NextBatch fills dst from the current interval's distribution,
+// identical in sequence to len(dst) successive Next calls — the form
+// the engine's batch spout path consumes. Always returns len(dst).
+func (s *ZipfStream) NextBatch(dst []tuple.Tuple) int { return batchDraw(dst, s.Next) }
+
+// batchDraw is the shared batch-draw adapter behind every generator's
+// NextBatch: fill dst by successive draws, preserving the per-tuple
+// sequence exactly.
+func batchDraw(dst []tuple.Tuple, next func() tuple.Tuple) int {
+	for i := range dst {
+		dst[i] = next()
+	}
+	return len(dst)
+}
+
 // ExpectedLoad returns the expected per-key costs for one interval
 // under the current rank permutation: cost(perm[r]) = E[count of rank
 // r+1] with unit tuple cost.

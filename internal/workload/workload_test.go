@@ -394,3 +394,46 @@ func TestNewZipfPanicsOnZeroK(t *testing.T) {
 	}()
 	NewZipf(0, 0.85)
 }
+
+// Batch draws must replicate the per-tuple draw sequence exactly: the
+// engine's batched emission path relies on this to keep experiment
+// outputs identical to the per-tuple path.
+func TestNextBatchMatchesSequentialNext(t *testing.T) {
+	type gen struct {
+		name  string
+		next  func() tuple.Tuple
+		batch func([]tuple.Tuple) int
+	}
+	za := NewZipfStream(1000, 0.85, 1.0, 10000, 5)
+	zb := NewZipfStream(1000, 0.85, 1.0, 10000, 5)
+	sa := NewSocial(2000, 0.85, 0.002, 5)
+	sb := NewSocial(2000, 0.85, 0.002, 5)
+	ka := NewStock(0, 0.85, 5)
+	kb := NewStock(0, 0.85, 5)
+	ca := DefaultTPCHConfig()
+	ca.Seed = 5
+	cb := DefaultTPCHConfig()
+	cb.Seed = 5
+	ta := NewTPCH(ca)
+	tb := NewTPCH(cb)
+	gens := []gen{
+		{"zipf", za.Next, zb.NextBatch},
+		{"social", sa.Next, sb.NextBatch},
+		{"stock", ka.Next, kb.NextBatch},
+		{"tpch", ta.Next, tb.NextBatch},
+	}
+	for _, g := range gens {
+		buf := make([]tuple.Tuple, 257)
+		if got := g.batch(buf); got != len(buf) {
+			t.Fatalf("%s: NextBatch returned %d, want %d", g.name, got, len(buf))
+		}
+		for i := range buf {
+			want := g.next()
+			if buf[i].Key != want.Key || buf[i].Seq != want.Seq ||
+				buf[i].Cost != want.Cost || buf[i].StateSize != want.StateSize ||
+				buf[i].Stream != want.Stream {
+				t.Fatalf("%s: draw %d batch %+v ≠ sequential %+v", g.name, i, buf[i], want)
+			}
+		}
+	}
+}
