@@ -1,6 +1,8 @@
 # Tier-1 verification and benchmarks for the repro module.
 
 GO ?= go
+# Spout parallelism for bench-dataplane (the scaling-curve knob).
+FEEDERS ?= 1
 
 .PHONY: verify build test vet bench bench-dataplane exhibits
 
@@ -23,9 +25,11 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/...
 
-## bench-dataplane: write BENCH_dataplane.json (tuples/sec trajectory).
+## bench-dataplane: write BENCH_dataplane.json (tuples/sec trajectory),
+## printing old-vs-new when the file already exists. FEEDERS=N fans the
+## engine measurements out to N spout goroutines.
 bench-dataplane:
-	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS)
 
 ## exhibits: regenerate every paper exhibit.
 exhibits:

@@ -10,11 +10,15 @@
 //	benchrunner -dataplane BENCH_dataplane.json
 //	                           # measure the tuple hot path and write
 //	                           # tuples/sec as JSON (skips exhibits)
+//	benchrunner -dataplane BENCH_dataplane.json -feeders 4
+//	                           # same, with 4-way spout fan-out on the
+//	                           # engine measurements (scaling curve)
 //
 // Output rows correspond to the x-axis points of the paper's plots;
-// columns to its series. EXPERIMENTS.md interprets each against the
-// published shape. The -dataplane report is the trajectory file future
-// perf PRs compare against.
+// columns to its series; README.md documents how each exhibit maps to
+// the published figures. The -dataplane report is the trajectory file
+// future perf PRs compare against: when the target file already exists
+// its numbers are printed alongside the fresh ones as old-vs-new.
 package main
 
 import (
@@ -24,7 +28,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -43,10 +49,15 @@ func main() {
 		list      = flag.Bool("list", false, "list exhibit ids and exit")
 		csvDir    = flag.String("csv", "", "also write each exhibit as CSV into this directory")
 		dataplane = flag.String("dataplane", "", "measure data-plane tuples/sec and write the JSON report to this path (skips exhibits)")
+		feeders   = flag.Int("feeders", 1, "spout parallelism for the -dataplane engine measurements (the scaling-curve knob)")
 	)
 	flag.Parse()
+	if *feeders < 1 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -feeders must be ≥ 1 (got %d)\n", *feeders)
+		os.Exit(2)
+	}
 	if *dataplane != "" {
-		if err := writeDataplaneReport(*dataplane); err != nil {
+		if err := writeDataplaneReport(*dataplane, *feeders); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -99,18 +110,42 @@ func main() {
 
 // dataplaneReport is the schema of BENCH_dataplane.json: tuples/sec
 // per hot-path measurement, so successive PRs can track the trajectory
-// of the batched data plane.
+// of the batched data plane. Feeders records the spout parallelism the
+// engine measurements ran with, so scaling-curve points taken at
+// different -feeders values are distinguishable.
 type dataplaneReport struct {
 	Schema       string             `json:"schema"`
 	GoMaxProcs   int                `json:"gomaxprocs"`
+	Feeders      int                `json:"feeders"`
 	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
+}
+
+// readDataplaneReport loads a previously written report, for the
+// old-vs-new comparison. A missing file is not an error (no baseline
+// yet); a malformed one is.
+func readDataplaneReport(path string) (*dataplaneReport, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r dataplaneReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // writeDataplaneReport benchmarks the tuple hot path end to end and
 // writes the tuples/sec report. Measurements mirror the in-package
 // micro-benchmarks (BenchmarkFeedBatch, BenchmarkRingLookupLUT,
-// BenchmarkTrackerObserveBatch) plus a whole-engine interval rate.
-func writeDataplaneReport(path string) error {
+// BenchmarkTrackerObserveBatch) plus whole-engine interval rates on
+// the serial and fanned-out emission paths. When the target file
+// already holds a report, the old numbers are printed next to the new
+// ones so perf PRs can quote the trajectory directly.
+func writeDataplaneReport(path string, feeders int) error {
 	mk := func(nd int) *engine.Stage {
 		return engine.NewStage("bench", nd, func(int) engine.Operator { return engine.Discard }, 1,
 			engine.NewAssignmentRouter(core.NewAssignment(nd)))
@@ -123,9 +158,14 @@ func writeDataplaneReport(path string) error {
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		return 1e9 / ns
 	}
+	baseline, err := readDataplaneReport(path)
+	if err != nil {
+		return err
+	}
 	report := dataplaneReport{
-		Schema:       "dataplane-v1",
+		Schema:       "dataplane-v2",
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Feeders:      feeders,
 		TuplesPerSec: map[string]float64{},
 	}
 
@@ -156,6 +196,40 @@ func writeDataplaneReport(path string) error {
 	})
 	report.TuplesPerSec["feed_batch"] = perTuple(fb)
 
+	// The fanned-out feed: `feeders` goroutines each drive FeedBatch
+	// with a private buffer, the emission shape of Cfg.Feeders = N.
+	// Recorded only when actually fanned out, so the key always means
+	// the same measurement across reports.
+	if feeders > 1 {
+		fbp := testing.Benchmark(func(b *testing.B) {
+			st := mk(10)
+			defer st.Stop()
+			per := b.N / feeders
+			var wg sync.WaitGroup
+			for f := 0; f < feeders; f++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Feed straight from the shared tuple slice, as the
+					// serial benchmark does: FeedBatch copies out of its
+					// argument and concurrent readers are safe, so both
+					// measurements cover exactly the same work.
+					for n := 0; n < per; n += batch {
+						off := n % len(keys)
+						if off+batch > len(keys) {
+							off = 0
+						}
+						st.FeedBatch(keys[off : off+batch])
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			st.Barrier()
+		})
+		report.TuplesPerSec["feed_batch_feeders"] = perTuple(fbp)
+	}
+
 	ring := hashring.New(10, 0)
 	rl := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -176,24 +250,30 @@ func writeDataplaneReport(path string) error {
 	})
 	report.TuplesPerSec["tracker_observe_batch"] = perTuple(ob)
 
-	var emittedTotal int64
-	ei := testing.Benchmark(func(b *testing.B) {
-		gen := workload.NewZipfStream(10000, 0.85, 0, 10000, 17)
-		sys := core.NewSystemBatch(core.Config{Instances: 10, Algorithm: core.AlgMixed, Budget: 10000, MinKeys: 64},
-			gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
-		defer sys.Stop()
-		b.ResetTimer()
-		sys.Run(b.N)
-		b.StopTimer()
-		// Count what was actually emitted: backpressure can throttle
-		// intervals below Budget, and the trajectory metric must not
-		// report tuples that never flowed.
-		emittedTotal = 0
-		for _, m := range sys.Recorder().Series {
-			emittedTotal += m.Emitted
-		}
-	})
-	report.TuplesPerSec["engine_interval"] = float64(emittedTotal) / ei.T.Seconds()
+	engineRate := func(nFeeders int) float64 {
+		var emittedTotal int64
+		ei := testing.Benchmark(func(b *testing.B) {
+			gen := workload.NewZipfStream(10000, 0.85, 0, 10000, 17)
+			sys := core.NewSystemBatch(core.Config{Instances: 10, Algorithm: core.AlgMixed, Budget: 10000, MinKeys: 64, Feeders: nFeeders},
+				gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+			defer sys.Stop()
+			b.ResetTimer()
+			sys.Run(b.N)
+			b.StopTimer()
+			// Count what was actually emitted: backpressure can throttle
+			// intervals below Budget, and the trajectory metric must not
+			// report tuples that never flowed.
+			emittedTotal = 0
+			for _, m := range sys.Recorder().Series {
+				emittedTotal += m.Emitted
+			}
+		})
+		return float64(emittedTotal) / ei.T.Seconds()
+	}
+	report.TuplesPerSec["engine_interval"] = engineRate(1)
+	if feeders > 1 {
+		report.TuplesPerSec["engine_interval_feeders"] = engineRate(feeders)
+	}
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -202,9 +282,30 @@ func writeDataplaneReport(path string) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("data-plane report written to %s\n", path)
-	for k, v := range report.TuplesPerSec {
-		fmt.Printf("  %-22s %14.0f tuples/sec\n", k, v)
+	fmt.Printf("data-plane report written to %s (feeders=%d)\n", path, feeders)
+	// Deltas are a trajectory only when the configurations match: a
+	// baseline taken at another feeder count or GOMAXPROCS measured
+	// different work.
+	comparable := baseline != nil && baseline.Feeders == report.Feeders &&
+		baseline.GoMaxProcs == report.GoMaxProcs
+	if baseline != nil && !comparable {
+		fmt.Printf("  (baseline was feeders=%d gomaxprocs=%d — configs differ, no old-vs-new deltas)\n",
+			baseline.Feeders, baseline.GoMaxProcs)
+	}
+	names := make([]string, 0, len(report.TuplesPerSec))
+	for k := range report.TuplesPerSec {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		v := report.TuplesPerSec[k]
+		if comparable {
+			if old, ok := baseline.TuplesPerSec[k]; ok && old > 0 {
+				fmt.Printf("  %-24s %14.0f tuples/sec  (was %14.0f, %+.1f%%)\n", k, v, old, 100*(v-old)/old)
+				continue
+			}
+		}
+		fmt.Printf("  %-24s %14.0f tuples/sec\n", k, v)
 	}
 	return nil
 }

@@ -17,6 +17,19 @@
 //   - bench_test.go: the same exhibits as testing.B benchmarks
 //   - examples/: runnable demonstration topologies
 //
+// # Parallel runtime
+//
+// Both ends of the interval loop are parallel. Emission fans out to
+// Config.Feeders goroutines, each drawing a disjoint, deterministic
+// share of the spout sequence (workload Shard / engine.ShardSpout)
+// and feeding the stage concurrently — the emitted multiset is
+// identical to a serial run, and so is every exhibit metric on
+// key-partitioned stages (order-dependent routers like PKG and
+// shuffle instead observe the feeders' interleaving).
+// Statistics harvest (Stage.EndInterval) runs on all task goroutines
+// concurrently, each producing a sorted run that the driver combines
+// with a k-way merge (stats.MergeRuns) into the planner snapshot.
+//
 // # Batched data plane
 //
 // The tuple hot path is batch-oriented end to end, so the per-tuple
@@ -46,6 +59,7 @@
 // of the per-tuple path (equivalence is pinned by tests; exhibit
 // outputs are bit-identical).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for the architecture tour; per-exhibit interpretation
+// against the published shapes lives with the runners in
+// internal/experiments.
 package repro

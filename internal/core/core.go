@@ -78,6 +78,19 @@ type Config struct {
 	// Capacity overrides the per-task service capacity (0 = saturation,
 	// Budget/Instances).
 	Capacity int64
+	// Feeders is the spout parallelism: how many goroutines emit each
+	// interval's tuples concurrently. 0 or 1 keeps the serial emission
+	// path (the default, bit-identical to the single-feeder engine);
+	// N > 1 splits the interval budget across N feeders drawing
+	// disjoint shares of the spout sequence, so the emitted multiset
+	// matches the serial run while routing, partitioning and channel
+	// sends parallelize. For key-partitioned stages (every assignment-
+	// routed algorithm) destinations depend only on the key, so exhibit
+	// metrics stay bit-identical to the serial run; order-dependent
+	// routers (AlgPKG's load-aware choice, AlgIdeal's shuffle) route
+	// individual tuples by arrival order, which concurrent feeders
+	// interleave nondeterministically.
+	Feeders int
 	// MinKeys delays rebalancing until the operator has seen this many
 	// keys (warm-up guard).
 	MinKeys int
@@ -177,6 +190,7 @@ func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) 
 	ecfg.Window = cfg.Window
 	ecfg.Budget = cfg.Budget
 	ecfg.Capacity = cfg.Capacity
+	ecfg.Feeders = cfg.Feeders
 	if cfg.Algorithm == AlgPKG {
 		// PKG's split keys require a downstream merge of partial
 		// results every period p (the paper settled on p = 10 ms); the
@@ -206,7 +220,11 @@ func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) 
 // NewSystemBatch is NewSystem with a batch-capable spout: the engine
 // draws tuples straight into its reusable emission buffer (e.g.
 // gen.NextBatch from the workload generators), skipping the per-tuple
-// adapter on the hot path.
+// adapter on the hot path. With cfg.Feeders > 1 the engine shards the
+// spout across the feeder goroutines itself; callers that want
+// generator-aware sharding instead (the workload Shard methods) can
+// set sys.Engine.SpoutShards via engine.AdaptShards before the first
+// interval.
 func NewSystemBatch(cfg Config, spout engine.SpoutBatch, op func(id int) engine.Operator) *System {
 	sys := NewSystem(cfg, nil, op)
 	sys.Engine.SpoutB = spout

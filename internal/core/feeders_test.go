@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// runSystem drives a full rebalancing system — Mixed planner, Zipf
+// workload with fluctuation, windowed state — for n intervals at the
+// given feeder count and returns it (stopped) for inspection.
+func runSystem(t *testing.T, feeders, n int) *System {
+	t.Helper()
+	gen := workload.NewZipfStream(3000, 0.9, 1.0, 10000, 41)
+	sys := NewSystemBatch(Config{
+		Instances: 8,
+		Window:    2,
+		Algorithm: AlgMixed,
+		Budget:    10000,
+		MinKeys:   64,
+		Feeders:   feeders,
+	}, gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+	defer sys.Stop()
+	ar := sys.Stage.AssignmentRouter()
+	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys.Run(n)
+	return sys
+}
+
+// TestFeedersPreserveExhibitMetrics is the pinned end-to-end
+// determinism test of the parallel runtime: a Feeders = 4 run of the
+// full system (routing, windowed state, statistics harvest, Mixed
+// rebalancing, workload fluctuation) must reproduce the Feeders = 1
+// interval series — every exhibit-relevant metric — and the final
+// harvest snapshot exactly.
+func TestFeedersPreserveExhibitMetrics(t *testing.T) {
+	const intervals = 12
+	serial := runSystem(t, 1, intervals)
+	parallel := runSystem(t, 4, intervals)
+
+	a, b := serial.Recorder().Series, parallel.Recorder().Series
+	if len(a) != len(b) {
+		t.Fatalf("series lengths differ: %d ≠ %d", len(a), len(b))
+	}
+	for i := range a {
+		ma, mb := a[i], b[i]
+		// PlanMs is measured wall-clock plan-generation time — real
+		// nondeterminism, not a data-plane quantity.
+		ma.PlanMs, mb.PlanMs = 0, 0
+		if ma != mb {
+			t.Fatalf("interval %d diverges:\nfeeders=1 %+v\nfeeders=4 %+v", i, ma, mb)
+		}
+	}
+	sa, sb := serial.Engine.LastSnapshots()[0], parallel.Engine.LastSnapshots()[0]
+	if len(sa.Keys) != len(sb.Keys) {
+		t.Fatalf("final snapshots differ in size: %d ≠ %d", len(sa.Keys), len(sb.Keys))
+	}
+	for i := range sa.Keys {
+		if sa.Keys[i] != sb.Keys[i] {
+			t.Fatalf("final snapshot entry %d: %+v ≠ %+v", i, sb.Keys[i], sa.Keys[i])
+		}
+	}
+	// The routing tables the controller built must match: same
+	// rebalance decisions interval by interval.
+	ta := serial.Stage.AssignmentRouter().Assignment().Table()
+	tb := parallel.Stage.AssignmentRouter().Assignment().Table()
+	if ta.Len() != tb.Len() {
+		t.Fatalf("routing tables differ in size: %d ≠ %d", ta.Len(), tb.Len())
+	}
+	for _, k := range ta.Keys() {
+		da, _ := ta.Lookup(k)
+		db, ok := tb.Lookup(k)
+		if !ok || da != db {
+			t.Fatalf("routing entry for key %d: feeders=1 → %d, feeders=4 → %d (present=%v)", k, da, db, ok)
+		}
+	}
+}

@@ -13,11 +13,15 @@ import (
 type Spout func() tuple.Tuple
 
 // SpoutBatch fills dst with the next tuples of the stream and returns
-// how many were written (len(dst) for the endless generators; fewer
-// signals early exhaustion and ends the interval's emission). It is the
-// batch-capable spout contract: the engine hands it a reusable scratch
-// buffer, so a full emission costs one call per few hundred tuples
-// instead of one call per tuple.
+// how many were written (len(dst) for the endless generators). Fewer
+// signals exhaustion, which is terminal: the stream has ended, the
+// interval's emission stops, and the engine may or may not re-enter
+// the spout afterwards (the serial path polls it once per later
+// interval; the sharded path latches and never calls again — both
+// observable behaviors coincide because an exhausted source keeps
+// returning 0). It is the batch-capable spout contract: the engine
+// hands it a reusable scratch buffer, so a full emission costs one
+// call per few hundred tuples instead of one call per tuple.
 type SpoutBatch func(dst []tuple.Tuple) int
 
 // BatchSpout adapts a legacy per-tuple Spout to SpoutBatch, preserving
@@ -32,7 +36,8 @@ func BatchSpout(s Spout) SpoutBatch {
 	}
 }
 
-// Config is the engine's performance model (DESIGN.md §6). The paper
+// Config is the engine's performance model (see "Execution model" in
+// README.md). The paper
 // drove its cluster to CPU saturation at perfect balance; we mirror
 // that with Capacity = spout budget / ND for the target stage, so any
 // imbalance immediately shows up as backlog, throttling and latency.
@@ -59,6 +64,18 @@ type Config struct {
 	// LatencyFloorMs is an additive latency term for schemes with extra
 	// coordination (PKG's merge period p).
 	LatencyFloorMs float64
+	// Feeders is the spout parallelism: how many goroutines emit each
+	// interval's tuples concurrently (the paper ran its spouts at
+	// parallelism 10). 0 or 1 selects the serial emission path, whose
+	// behavior — draw sequence, chunking, metrics — is exactly that of
+	// the single-feeder engine. With N > 1 the per-interval budget is
+	// split across N feeders before the fan-out; each feeder owns a
+	// private scratch buffer and calls Stage.FeedBatch concurrently.
+	// The drawn multiset is preserved exactly; per-tuple destinations
+	// (and so all metrics) are preserved for key-partitioned routers,
+	// while order-dependent routers (PKG, shuffle) observe the feeders'
+	// nondeterministic interleaving.
+	Feeders int
 }
 
 // DefaultConfig returns the model used across the experiments. The
@@ -90,8 +107,14 @@ type Engine struct {
 	// through the batch API straight into the engine's reusable scratch
 	// buffer. When only Spout is set it is wrapped by BatchSpout.
 	SpoutB SpoutBatch
-	Stages []*Stage
-	Cfg    Config
+	// SpoutShards, when set (len == Cfg.Feeders), gives each feeder
+	// goroutine its own partitioned draw source — e.g. the workload
+	// generators' Shard(n) results via AdaptShards. When unset and
+	// Cfg.Feeders > 1, the engine wraps the single spout in a mutex
+	// sharder (ShardSpout), which preserves the drawn multiset exactly.
+	SpoutShards []SpoutBatch
+	Stages      []*Stage
+	Cfg         Config
 	// Target selects the stage whose metrics are recorded (the operator
 	// under study; downstream stages still execute and consume).
 	Target   int
@@ -111,6 +134,11 @@ type Engine struct {
 	stopped   bool
 	snapshots []*stats.Snapshot // last interval's, per stage (for tests)
 	scratch   []tuple.Tuple     // reusable emission buffer (FeedBatch copies out of it)
+	// Parallel-emission state, built lazily on the first fanned-out
+	// interval: the resolved per-feeder draw sources and one reusable
+	// scratch buffer per feeder.
+	feedShards  []SpoutBatch
+	feedScratch [][]tuple.Tuple
 }
 
 // New assembles an engine over the given stages.
@@ -194,40 +222,17 @@ func (e *Engine) RunInterval() {
 	e.lastEmit = emitN
 
 	// Feed the pipeline, stage by stage (store-and-forward intervals).
-	// Emission runs through a reusable scratch buffer in emitChunk-sized
-	// batches: the spout fills the scratch, the stage's FeedBatch copies
+	// Emission runs through reusable scratch buffers in emitChunk-sized
+	// batches: the spout fills a scratch, the stage's FeedBatch copies
 	// the tuples into per-destination messages, and the scratch is
-	// immediately reusable for the next chunk.
-	sb := e.SpoutB
-	if sb == nil {
-		if e.Spout == nil {
-			panic("engine: RunInterval with neither Spout nor SpoutB configured")
-		}
-		sb = BatchSpout(e.Spout)
-	}
-	if cap(e.scratch) < emitChunk {
-		e.scratch = make([]tuple.Tuple, emitChunk)
-	}
-	for j := int64(0); j < emitN; {
-		c := emitN - j
-		if c > emitChunk {
-			c = emitChunk
-		}
-		buf := e.scratch[:c]
-		got := sb(buf)
-		for i := 0; i < got; i++ {
-			buf[i].EmitTick = e.interval
-		}
-		e.Stages[0].FeedBatch(buf[:got])
-		j += int64(got)
-		if int64(got) < c {
-			// The spout ended early (finite batch sources); record the
-			// true emission so the model and metrics charge what
-			// actually arrived.
-			emitN = j
-			e.lastEmit = j
-			break
-		}
+	// immediately reusable for the next chunk. With Cfg.Feeders > 1 the
+	// budget is split across N feeder goroutines before the fan-out.
+	if got := e.emit(emitN); got < emitN {
+		// The spout ended early (finite batch sources); record the true
+		// emission so the model and metrics charge what actually
+		// arrived.
+		emitN = got
+		e.lastEmit = got
 	}
 	for si := 0; si < len(e.Stages); si++ {
 		e.Stages[si].Barrier()

@@ -12,7 +12,7 @@
 // controller may rebalance. Tuple routing, operator logic, state
 // accumulation and migration are all real; only *performance* (task
 // service capacity, queueing) is modelled in simulated cost units so
-// results are deterministic and hardware-independent (see DESIGN.md §6).
+// results are deterministic and hardware-independent (see README.md).
 package engine
 
 import (

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tuple"
+)
+
+// This file is the emission plane: the serial single-feeder path and
+// the Cfg.Feeders fan-out that splits each interval's budget across N
+// spout goroutines. The stage side (FeedBatch) already tolerates
+// concurrent callers; what the fan-out adds is N private scratch
+// buffers and a partitioned draw, so routing, partitioning and channel
+// sends — the bulk of emission cost — run in parallel while the draw
+// itself stays a deterministic single sequence.
+
+// ShardSpout splits one batch spout across n shards sharing a mutex:
+// each shard call atomically claims the next len(dst) draws of the
+// underlying sequence. Disjointness and the drawn multiset are exact —
+// the union of B draws across shards is the first B draws of sb — so
+// sharded emission keeps single-feeder statistics bit-identical; which
+// segment lands on which shard depends on scheduling, which no
+// consumer observes. A short draw latches exhaustion for every shard.
+func ShardSpout(sb SpoutBatch, n int) []SpoutBatch {
+	if n < 1 {
+		n = 1
+	}
+	var mu sync.Mutex
+	done := false
+	draw := func(dst []tuple.Tuple) int {
+		mu.Lock()
+		defer mu.Unlock()
+		if done {
+			return 0
+		}
+		got := sb(dst)
+		if got < len(dst) {
+			done = true
+		}
+		return got
+	}
+	out := make([]SpoutBatch, n)
+	for i := range out {
+		out[i] = draw
+	}
+	return out
+}
+
+// AdaptShards converts plain sharded draw functions — the shape the
+// workload generators' Shard methods return — into SpoutBatch values
+// for Engine.SpoutShards.
+func AdaptShards(fns []func(dst []tuple.Tuple) int) []SpoutBatch {
+	out := make([]SpoutBatch, len(fns))
+	for i, f := range fns {
+		out[i] = f
+	}
+	return out
+}
+
+// batchSpout resolves the engine's draw source, wrapping a legacy
+// per-tuple Spout when only that is configured.
+func (e *Engine) batchSpout() SpoutBatch {
+	if e.SpoutB != nil {
+		return e.SpoutB
+	}
+	if e.Spout == nil {
+		panic("engine: RunInterval with neither Spout nor SpoutB configured")
+	}
+	return BatchSpout(e.Spout)
+}
+
+// emit feeds emitN tuples of the current interval into stage 0 and
+// returns how many were actually drawn (fewer when a finite source
+// ends early). Dispatches between the serial path and the feeder
+// fan-out on Cfg.Feeders.
+func (e *Engine) emit(emitN int64) int64 {
+	if e.Cfg.Feeders > 1 {
+		return e.emitParallel(emitN)
+	}
+	return e.emitSerial(emitN)
+}
+
+// emitSerial is the single-feeder emission loop, byte-for-byte the
+// pre-fan-out engine behavior: one goroutine, one scratch buffer,
+// emitChunk-sized draws.
+func (e *Engine) emitSerial(emitN int64) int64 {
+	sb := e.batchSpout()
+	if cap(e.scratch) < emitChunk {
+		e.scratch = make([]tuple.Tuple, emitChunk)
+	}
+	for j := int64(0); j < emitN; {
+		c := emitN - j
+		if c > emitChunk {
+			c = emitChunk
+		}
+		buf := e.scratch[:c]
+		got := sb(buf)
+		for i := 0; i < got; i++ {
+			buf[i].EmitTick = e.interval
+		}
+		e.Stages[0].FeedBatch(buf[:got])
+		j += int64(got)
+		if int64(got) < c {
+			return j
+		}
+	}
+	return emitN
+}
+
+// emitParallel fans emission out to Cfg.Feeders goroutines. The budget
+// is split into per-feeder quotas before the fan-out (throttling has
+// already shaped emitN), so each feeder knows its share up front and
+// the fan-out needs no mid-interval coordination beyond the draw
+// itself. Feeder f draws through its shard into its own scratch and
+// calls FeedBatch concurrently with the others — safe per the stage's
+// mu-guarded partition scratch and refcounted batch buffers.
+func (e *Engine) emitParallel(emitN int64) int64 {
+	feeders := e.Cfg.Feeders
+	if e.feedShards == nil {
+		if len(e.SpoutShards) > 0 {
+			if len(e.SpoutShards) != feeders {
+				panic("engine: len(SpoutShards) must equal Cfg.Feeders")
+			}
+			e.feedShards = e.SpoutShards
+		} else {
+			e.feedShards = ShardSpout(e.batchSpout(), feeders)
+		}
+		e.feedScratch = make([][]tuple.Tuple, feeders)
+	}
+	interval := e.interval
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	quota := emitN / int64(feeders)
+	rem := emitN % int64(feeders)
+	for f := 0; f < feeders; f++ {
+		q := quota
+		if int64(f) < rem {
+			q++
+		}
+		if q == 0 {
+			continue
+		}
+		if cap(e.feedScratch[f]) < emitChunk {
+			e.feedScratch[f] = make([]tuple.Tuple, emitChunk)
+		}
+		wg.Add(1)
+		go func(sb SpoutBatch, scratch []tuple.Tuple, q int64) {
+			defer wg.Done()
+			for j := int64(0); j < q; {
+				c := q - j
+				if c > emitChunk {
+					c = emitChunk
+				}
+				buf := scratch[:c]
+				got := sb(buf)
+				for i := 0; i < got; i++ {
+					buf[i].EmitTick = interval
+				}
+				e.Stages[0].FeedBatch(buf[:got])
+				j += int64(got)
+				total.Add(int64(got))
+				if int64(got) < c {
+					return
+				}
+			}
+		}(e.feedShards[f], e.feedScratch[f], q)
+	}
+	wg.Wait()
+	return total.Load()
+}

@@ -269,32 +269,51 @@ func (s *Stage) ArrivedTuples() []int64 { return s.arrivedTuples }
 
 // EndInterval closes the statistics interval on every task and merges
 // the per-task reports into a planner-ready snapshot (step 1 of Fig. 5:
-// instances report to the controller). Destinations are taken from the
-// task that actually observed the key; hash destinations from the
-// assignment router when present. Arrival accounting is reset.
+// instances report to the controller). The harvest runs on all task
+// goroutines concurrently — each task rolls its own tracker window,
+// resolves hash destinations and sorts its report into a run ordered
+// by stats.KeyStatLess — and the driver k-way-merges the sorted runs,
+// so the interval-barrier cost is the slowest single task plus an
+// O(n log ND) merge instead of a serial walk plus a full re-sort.
+// Destinations are taken from the task that actually observed the key;
+// hash destinations from the assignment router when present. Arrival
+// accounting is reset.
 func (s *Stage) EndInterval(interval int64) *stats.Snapshot {
 	snap := &stats.Snapshot{Interval: interval, ND: len(s.tasks)}
-	ar := s.AssignmentRouter()
+	// The assignment is resolved once, outside the thunks: it is an
+	// immutable snapshot, safe for concurrent HashDest reads, and no
+	// swap can race the harvest (the controller runs after it).
+	var asg *route.Assignment
+	if ar := s.AssignmentRouter(); ar != nil {
+		asg = ar.Assignment()
+	}
+	runs := make([][]stats.KeyStat, len(s.tasks))
+	dones := make([]chan struct{}, len(s.tasks))
 	for d, t := range s.tasks {
-		var got map[tuple.Key]stats.KeyStat
-		t.barrier(func(ctx *TaskCtx) {
-			got = ctx.Tracker.EndInterval()
+		dones[d] = t.barrierAsync(func(ctx *TaskCtx) {
+			got := ctx.Tracker.EndInterval()
 			ctx.Store.EndInterval()
 			ctx.ProcessedTuples = 0
 			ctx.ProcessedCost = 0
-		})
-		for k, ks := range got {
-			ks.Key = k
-			ks.Dest = d
-			if ar != nil {
-				ks.Hash = ar.Assignment().HashDest(k)
-			} else {
-				ks.Hash = d
+			run := make([]stats.KeyStat, 0, len(got))
+			for k, ks := range got {
+				ks.Key = k
+				ks.Dest = d
+				if asg != nil {
+					ks.Hash = asg.HashDest(k)
+				} else {
+					ks.Hash = d
+				}
+				run = append(run, ks)
 			}
-			snap.Keys = append(snap.Keys, ks)
-		}
+			stats.SortByCostDesc(run)
+			runs[d] = run
+		})
 	}
-	stats.SortByCostDesc(snap.Keys)
+	for _, done := range dones {
+		<-done
+	}
+	snap.Keys = stats.MergeRuns(runs)
 	for d := range s.arrivedCost {
 		s.arrivedCost[d] = 0
 		s.arrivedTuples[d] = 0

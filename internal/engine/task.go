@@ -114,12 +114,22 @@ func (t *task) sendBatch(ts []tuple.Tuple, buf *batchBuf) { t.in <- message{ts: 
 // the task's ctx directly until it sends the next message (the channel
 // handoff gives the necessary happens-before edges).
 func (t *task) barrier(fn func(*TaskCtx)) {
+	<-t.barrierAsync(fn)
+}
+
+// barrierAsync enqueues fn on the task goroutine and returns the done
+// channel without waiting, so a caller can start one barrier per task
+// and join them all — the parallel form Stage.EndInterval uses to
+// harvest every tracker concurrently. The channel is closed after fn
+// runs (receiving from it gives the happens-before edge on anything fn
+// wrote).
+func (t *task) barrierAsync(fn func(*TaskCtx)) chan struct{} {
 	if fn == nil {
 		fn = func(*TaskCtx) {}
 	}
 	done := make(chan struct{})
 	t.in <- message{ctrl: fn, done: done}
-	<-done
+	return done
 }
 
 // stop closes the input channel and waits for the goroutine to exit.

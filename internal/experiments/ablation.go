@@ -19,7 +19,7 @@ func (p readjPlanner) Plan(s *stats.Snapshot, cfg balance.Config) *balance.Plan 
 	return readj.Planner{Sigma: p.sigma}.Plan(s, cfg)
 }
 
-// Ablations of the design choices DESIGN.md calls out. These go beyond
+// Ablations of the reproduction's design choices. These go beyond
 // the paper's own exhibits: each isolates one mechanism (the Adjust
 // repair, the cleaning criterion η, the selection criterion ψ, the
 // holistic discretizer) and measures what it buys.

@@ -2,10 +2,10 @@
 // paper's evaluation section (§V plus the appendix figures) as text
 // series. Each FigXX function is self-contained and deterministic;
 // cmd/benchrunner prints them, the root bench_test.go wraps them in
-// testing.B benches, and EXPERIMENTS.md records the measured shapes
-// against the paper's.
+// testing.B benches, and per-exhibit comments interpret the measured
+// shapes against the paper's.
 //
-// Two harnesses are used, matching DESIGN.md:
+// Two harnesses are used:
 //
 //   - a planning-only simulator (planSim) for the algorithm-level
 //     figures (8–12, 17–21): per-interval expected loads from the

@@ -17,7 +17,7 @@ import (
 
 // System-level experiments (Figs. 13–16): real tuples through the
 // engine, real state migration, throughput/latency from the saturation
-// model. Scales are laptop-sized (documented in EXPERIMENTS.md): tuple
+// model. Scales are laptop-sized: tuple
 // budgets per interval are 10^4 instead of the cluster's 10^5/s, and
 // interval counts are tens instead of hundreds. Shapes, not absolute
 // numbers, are the reproduction target.

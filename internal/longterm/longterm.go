@@ -133,7 +133,7 @@ func (d *Detector) Observe(totalLoad, totalCapacity int64) Action {
 // total load (long-term path), and applies ScaleOut recommendations by
 // growing the target stage. ScaleIn is recorded but not applied — the
 // engine's task instances cannot retire mid-run; a real deployment
-// would drain and decommission (noted in DESIGN.md).
+// would drain and decommission.
 type AutoScaler struct {
 	// Detector decides; Inner is the short-term rebalance hook (may be
 	// nil); Capacity is the per-task service capacity the engine uses.

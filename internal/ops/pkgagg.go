@@ -32,6 +32,15 @@ func (p *PartialCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	p.partial[t.Key]++
 }
 
+// ProcessBatch implements engine.BatchOperator: the partial-count
+// upsert in a tight loop per channel message.
+func (p *PartialCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	partial := p.partial
+	for i := range ts {
+		partial[ts[i].Key]++
+	}
+}
+
 // FlushInterval implements engine.IntervalFlusher: emit one partial per
 // touched key, then reset.
 func (p *PartialCount) FlushInterval(ctx *engine.TaskCtx) {
@@ -74,6 +83,16 @@ func NewMergeCount() *MergeCount { return &MergeCount{M: pkgpart.NewMerger()} }
 func (m *MergeCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	v, _ := t.Value.(int64)
 	m.M.Add(t.Key, v)
+}
+
+// ProcessBatch implements engine.BatchOperator: fold a whole message
+// of partials with the merger resolved once.
+func (m *MergeCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	mg := m.M
+	for i := range ts {
+		v, _ := ts[i].Value.(int64)
+		mg.Add(ts[i].Key, v)
+	}
 }
 
 // FlushInterval implements engine.IntervalFlusher (period-p merge).

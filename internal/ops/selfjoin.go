@@ -38,6 +38,17 @@ func (j *SelfJoin) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	ctx.Store.Add(t.Key, state.Entry{Value: t.Value, Size: t.StateSize})
 }
 
+// ProcessBatch implements engine.BatchOperator: per-tuple Process in
+// a tight loop, keeping the join logic in one place. Probe-then-insert
+// order per tuple is preserved, so the match count for a batch equals
+// the per-tuple path exactly (tuples of the same key within one batch
+// still pair with each other).
+func (j *SelfJoin) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	for i := range ts {
+		j.Process(ctx, ts[i])
+	}
+}
+
 // SelfJoinFleet tracks instances per task id.
 type SelfJoinFleet struct {
 	Instances map[int]*SelfJoin

@@ -51,6 +51,15 @@ func (q *Q5Join) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	ctx.Store.Add(t.Key, state.Entry{Value: t.Value, Size: t.StateSize})
 }
 
+// ProcessBatch implements engine.BatchOperator: the windowed-join loop
+// over a whole channel message, preserving per-tuple probe-then-insert
+// order so intra-batch order/lineitem pairs still join.
+func (q *Q5Join) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	for i := range ts {
+		q.Process(ctx, ts[i])
+	}
+}
+
 // join applies the c ⋈ n and s ⋈ n lookups and the region filter, then
 // emits the revenue contribution keyed by nation.
 func (q *Q5Join) join(ctx *engine.TaskCtx, o workload.Order, li workload.Lineitem) {
@@ -110,6 +119,17 @@ func NewNationRevenue() *NationRevenue {
 func (n *NationRevenue) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	if rev, ok := t.Value.(float64); ok {
 		n.Revenue[t.Key] += rev
+	}
+}
+
+// ProcessBatch implements engine.BatchOperator: one map-lookup loop
+// per channel message for the 25-key aggregation.
+func (n *NationRevenue) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	rev := n.Revenue
+	for i := range ts {
+		if r, ok := ts[i].Value.(float64); ok {
+			rev[ts[i].Key] += r
+		}
 	}
 }
 

@@ -30,6 +30,17 @@ func (w *WordCount) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	ctx.Store.Add(t.Key, state.Entry{Value: int64(1), Size: t.StateSize})
 }
 
+// ProcessBatch implements engine.BatchOperator: the count and store
+// updates run in one tight loop per channel message, with the map and
+// store lookups hoisted out of the interface dispatch.
+func (w *WordCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
+	counts, store := w.counts, ctx.Store
+	for i := range ts {
+		counts[ts[i].Key]++
+		store.Add(ts[i].Key, state.Entry{Value: int64(1), Size: ts[i].StateSize})
+	}
+}
+
 // Count returns the instance-local total for a key.
 func (w *WordCount) Count(k tuple.Key) int64 { return w.counts[k] }
 

@@ -81,15 +81,87 @@ func (s *Snapshot) Clone() *Snapshot {
 	return c
 }
 
-// SortByCostDesc orders keys by descending cost with key-ascending
-// tie-break, the ordering both LLFD and Simple iterate in.
+// KeyStatLess is the canonical snapshot ordering: descending cost,
+// key-ascending tie-break, destination-ascending final tie-break. Cost
+// and key alone order any snapshot whose keys are unique (every
+// assignment-routed stage); the destination term makes the order total
+// for shuffle- and PKG-style stages where one key's tuples land on
+// several instances, so merging per-task sorted runs is deterministic
+// and equal to sorting the concatenation.
+func KeyStatLess(a, b KeyStat) bool {
+	if a.Cost != b.Cost {
+		return a.Cost > b.Cost
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Dest < b.Dest
+}
+
+// SortByCostDesc orders keys by KeyStatLess — descending cost with
+// key-ascending tie-break, the ordering both LLFD and Simple iterate
+// in.
 func SortByCostDesc(keys []KeyStat) {
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Cost != keys[j].Cost {
-			return keys[i].Cost > keys[j].Cost
+	sort.Slice(keys, func(i, j int) bool { return KeyStatLess(keys[i], keys[j]) })
+}
+
+// MergeRuns k-way-merges per-task sorted runs (each ordered by
+// KeyStatLess) into one slice with the same ordering — the harvest
+// merge Stage.EndInterval uses instead of re-sorting the concatenated
+// runs from scratch. Each run must be sorted; the result is then
+// exactly SortByCostDesc over the concatenation, at the cost of one
+// heap operation per element over a k-sized heap instead of a full
+// O(n log n) comparison sort on the interval-barrier critical path.
+func MergeRuns(runs [][]KeyStat) []KeyStat {
+	total := 0
+	live := make([]int, 0, len(runs)) // indices of non-empty runs
+	for i, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			live = append(live, i)
 		}
-		return keys[i].Key < keys[j].Key
-	})
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return append([]KeyStat(nil), runs[live[0]]...)
+	}
+	out := make([]KeyStat, 0, total)
+	pos := make([]int, len(runs))
+	// Index heap over live runs, ordered by each run's current head.
+	less := func(a, b int) bool { return KeyStatLess(runs[a][pos[a]], runs[b][pos[b]]) }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(live) && less(live[l], live[m]) {
+				m = l
+			}
+			if r < len(live) && less(live[r], live[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			live[i], live[m] = live[m], live[i]
+			i = m
+		}
+	}
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(live) > 0 {
+		top := live[0]
+		out = append(out, runs[top][pos[top]])
+		pos[top]++
+		if pos[top] == len(runs[top]) {
+			live[0] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		down(0)
+	}
+	return out
 }
 
 // Theta returns the balance indicator θ(d) = |L(d) − L̄| / L̄ for every

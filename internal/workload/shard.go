@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// This file is the partitioned-draw API behind the engine's parallel
+// spouts: Shard(n) splits one generator's draw sequence across n spout
+// shards so n feeder goroutines can emit concurrently.
+//
+// The generators are driven by a single sequential RNG, so the draw
+// itself cannot be parallelized without changing the published
+// sequences. Sharding therefore serializes only the raw draw — each
+// shard call atomically claims the next len(dst) draws of the shared
+// sequence under one lock — while everything downstream of the draw
+// (routing, partitioning, channel sends, operator work) runs on the
+// caller's goroutine in parallel. The invariants, which the engine's
+// determinism tests pin, are:
+//
+//   - disjointness: every draw of the underlying sequence is handed to
+//     exactly one shard;
+//   - multiset determinism: the union of the first B draws claimed
+//     across all shards is exactly the first B draws of the unsharded
+//     sequence, whatever the interleaving of shard calls — so interval
+//     statistics, routing decisions and exhibit metrics on
+//     key-partitioned stages are identical to a single-feeder run
+//     (order-dependent routers — PKG, shuffle — see the interleaving).
+//
+// Which contiguous segment a particular shard receives depends on
+// goroutine scheduling; no consumer observes it, because all shards
+// feed the same stage and per-key accounting is order-independent
+// within an interval.
+
+// sharder serializes draws from one generator across its shards. It
+// deliberately mirrors engine.ShardSpout: workload sits below engine
+// in the import graph, so the ~20-line mutex wrapper is duplicated
+// here rather than importing the engine from every generator. A
+// semantic change to either copy (locking, exhaustion latching) must
+// land in both.
+type sharder struct {
+	mu   sync.Mutex
+	next func(dst []tuple.Tuple) int
+	// done latches when the source returns a short draw (finite
+	// sources), so later claims from any shard return 0 instead of
+	// re-entering an exhausted generator.
+	done bool
+}
+
+func (s *sharder) draw(dst []tuple.Tuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return 0
+	}
+	got := s.next(dst)
+	if got < len(dst) {
+		s.done = true
+	}
+	return got
+}
+
+// shardSpouts builds n spout shards over one batch-draw function. Each
+// shard has the engine's SpoutBatch shape (func(dst) int), so the
+// result wires directly into engine.Engine.SpoutShards.
+func shardSpouts(n int, next func(dst []tuple.Tuple) int) []func(dst []tuple.Tuple) int {
+	if n < 1 {
+		n = 1
+	}
+	sh := &sharder{next: next}
+	out := make([]func(dst []tuple.Tuple) int, n)
+	for i := range out {
+		out[i] = sh.draw
+	}
+	return out
+}
+
+// Shard splits the stream's draw sequence across n spout shards for
+// parallel emission. Advance must not run concurrently with shard
+// draws (the engine advances workloads between intervals, when the
+// feeders are joined).
+func (s *ZipfStream) Shard(n int) []func(dst []tuple.Tuple) int {
+	return shardSpouts(n, s.NextBatch)
+}
+
+// Shard splits the feed's draw sequence across n spout shards for
+// parallel emission.
+func (s *Social) Shard(n int) []func(dst []tuple.Tuple) int {
+	return shardSpouts(n, s.NextBatch)
+}
+
+// Shard splits the trade tape's draw sequence across n spout shards
+// for parallel emission.
+func (s *Stock) Shard(n int) []func(dst []tuple.Tuple) int {
+	return shardSpouts(n, s.NextBatch)
+}
+
+// Shard splits the fact stream's draw sequence across n spout shards
+// for parallel emission.
+func (t *TPCH) Shard(n int) []func(dst []tuple.Tuple) int {
+	return shardSpouts(n, t.NextBatch)
+}
