@@ -4,7 +4,7 @@ GO ?= go
 # Spout parallelism for bench-dataplane (the scaling-curve knob).
 FEEDERS ?= 1
 
-.PHONY: verify build test vet bench bench-dataplane exhibits
+.PHONY: verify build test vet bench bench-dataplane bench-multistage exhibits
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -31,6 +31,13 @@ bench:
 bench-dataplane:
 	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS)
 
-## exhibits: regenerate every paper exhibit.
+## bench-multistage: the dataplane report plus the 2-stage end-to-end
+## benchmark (store-and-forward vs streaming pipeline transfer).
+bench-multistage:
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage
+
+## exhibits: regenerate every paper exhibit. PIPELINE=1 runs them with
+## streaming inter-stage transfer (key-partitioned exhibit outputs do
+## not change; fig01's shuffle stages may interleave on multicore).
 exhibits:
-	$(GO) run ./cmd/benchrunner
+	$(GO) run ./cmd/benchrunner $(if $(PIPELINE),-pipeline)

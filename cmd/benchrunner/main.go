@@ -13,6 +13,13 @@
 //	benchrunner -dataplane BENCH_dataplane.json -feeders 4
 //	                           # same, with 4-way spout fan-out on the
 //	                           # engine measurements (scaling curve)
+//	benchrunner -dataplane BENCH_dataplane.json -multistage
+//	                           # additionally benchmark a 2-stage
+//	                           # topology end to end, pipelined vs
+//	                           # store-and-forward (-msbudget scales it)
+//	benchrunner -pipeline      # run the exhibits with streaming
+//	                           # inter-stage transfer (A/B against the
+//	                           # default store-and-forward run)
 //
 // Output rows correspond to the x-axis points of the paper's plots;
 // columns to its series; README.md documents how each exhibit maps to
@@ -45,19 +52,27 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated exhibit ids, or 'all'")
-		list      = flag.Bool("list", false, "list exhibit ids and exit")
-		csvDir    = flag.String("csv", "", "also write each exhibit as CSV into this directory")
-		dataplane = flag.String("dataplane", "", "measure data-plane tuples/sec and write the JSON report to this path (skips exhibits)")
-		feeders   = flag.Int("feeders", 1, "spout parallelism for the -dataplane engine measurements (the scaling-curve knob)")
+		exp        = flag.String("exp", "all", "comma-separated exhibit ids, or 'all'")
+		list       = flag.Bool("list", false, "list exhibit ids and exit")
+		csvDir     = flag.String("csv", "", "also write each exhibit as CSV into this directory")
+		dataplane  = flag.String("dataplane", "", "measure data-plane tuples/sec and write the JSON report to this path (skips exhibits)")
+		feeders    = flag.Int("feeders", 1, "spout parallelism for the -dataplane engine measurements (the scaling-curve knob)")
+		multistage = flag.Bool("multistage", false, "with -dataplane: also benchmark a 2-stage topology end to end, store-and-forward vs pipelined transfer")
+		msBudget   = flag.Int64("msbudget", 20000, "per-interval spout budget for the -multistage benchmark (CI smoke uses a tiny value)")
+		pipeline   = flag.Bool("pipeline", false, "run the exhibits with streaming inter-stage transfer (outputs match the default store-and-forward run on key-partitioned stages; fig01's shuffle stages may interleave on multicore)")
 	)
 	flag.Parse()
 	if *feeders < 1 {
 		fmt.Fprintf(os.Stderr, "benchrunner: -feeders must be ≥ 1 (got %d)\n", *feeders)
 		os.Exit(2)
 	}
+	if *msBudget < 1 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -msbudget must be ≥ 1 (got %d)\n", *msBudget)
+		os.Exit(2)
+	}
+	experiments.SetPipeline(*pipeline)
 	if *dataplane != "" {
-		if err := writeDataplaneReport(*dataplane, *feeders); err != nil {
+		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -142,10 +157,13 @@ func readDataplaneReport(path string) (*dataplaneReport, error) {
 // writes the tuples/sec report. Measurements mirror the in-package
 // micro-benchmarks (BenchmarkFeedBatch, BenchmarkRingLookupLUT,
 // BenchmarkTrackerObserveBatch) plus whole-engine interval rates on
-// the serial and fanned-out emission paths. When the target file
+// the serial and fanned-out emission paths; with multistage set, a
+// 2-stage topology is additionally driven end to end under both
+// transfer modes (multistage_interval_sf = store-and-forward,
+// multistage_interval = streaming pipeline). When the target file
 // already holds a report, the old numbers are printed next to the new
 // ones so perf PRs can quote the trajectory directly.
-func writeDataplaneReport(path string, feeders int) error {
+func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64) error {
 	mk := func(nd int) *engine.Stage {
 		return engine.NewStage("bench", nd, func(int) engine.Operator { return engine.Discard }, 1,
 			engine.NewAssignmentRouter(core.NewAssignment(nd)))
@@ -163,7 +181,7 @@ func writeDataplaneReport(path string, feeders int) error {
 		return err
 	}
 	report := dataplaneReport{
-		Schema:       "dataplane-v2",
+		Schema:       "dataplane-v3",
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		Feeders:      feeders,
 		TuplesPerSec: map[string]float64{},
@@ -273,6 +291,45 @@ func writeDataplaneReport(path string, feeders int) error {
 	report.TuplesPerSec["engine_interval"] = engineRate(1)
 	if feeders > 1 {
 		report.TuplesPerSec["engine_interval_feeders"] = engineRate(feeders)
+	}
+
+	// The 2-stage topology end to end: a keyed forwarding map feeding a
+	// keyed sink, the minimal shape where inter-stage transfer cost is
+	// on the critical path. Spout tuples/sec is reported (each spout
+	// tuple crosses both stages), with the store-and-forward driver and
+	// the streaming pipeline measured over identical seeds so the delta
+	// isolates the transfer machinery.
+	if multistage {
+		msRate := func(pipelined bool) float64 {
+			const nd = 8
+			fwd := engine.OperatorFunc(func(ctx *engine.TaskCtx, t tuple.Tuple) {
+				ctx.Emit(tuple.New(t.Key, nil))
+			})
+			var emittedTotal int64
+			r := testing.Benchmark(func(b *testing.B) {
+				gen := workload.NewZipfStream(10000, 0.85, 0, msBudget, 17)
+				s0 := engine.NewStage("ms-map", nd, func(int) engine.Operator { return fwd }, 1,
+					engine.NewAssignmentRouter(core.NewAssignment(nd)))
+				s1 := engine.NewStage("ms-sink", nd, func(int) engine.Operator { return engine.Discard }, 1,
+					engine.NewAssignmentRouter(core.NewAssignment(nd)))
+				cfg := engine.DefaultConfig()
+				cfg.Budget = msBudget
+				cfg.MaxPendingFactor = 0 // saturate: measure transfer, not the throttle
+				cfg.Pipeline = pipelined
+				e := engine.NewBatch(gen.NextBatch, cfg, s0, s1)
+				defer e.Stop()
+				b.ResetTimer()
+				e.Run(b.N)
+				b.StopTimer()
+				emittedTotal = 0
+				for _, m := range e.Recorder.Series {
+					emittedTotal += m.Emitted
+				}
+			})
+			return float64(emittedTotal) / r.T.Seconds()
+		}
+		report.TuplesPerSec["multistage_interval_sf"] = msRate(false)
+		report.TuplesPerSec["multistage_interval"] = msRate(true)
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")

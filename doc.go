@@ -30,6 +30,19 @@
 // concurrently, each producing a sorted run that the driver combines
 // with a k-way merge (stats.MergeRuns) into the planner snapshot.
 //
+// # Streaming interval pipeline
+//
+// Multi-stage topologies run pipelined under engine.Config.Pipeline:
+// each upstream task streams its emitted tuples into the downstream
+// stage's FeedBatch in emitChunk-sized batches from its own goroutine,
+// so stage s+1 consumes and processes while stage s is still working,
+// and the interval ends with a cascading close (barrier stage s, flush
+// residual emission buffers downstream, close stage s+1). Backpressure
+// scans every stage's backlog, EmitTick is stamped at emission time,
+// and the store-and-forward driver remains selectable — its
+// equivalence (interval series, snapshots, routing tables, exhibit
+// outputs) is pinned by tests.
+//
 // # Batched data plane
 //
 // The tuple hot path is batch-oriented end to end, so the per-tuple

@@ -35,6 +35,10 @@ func main() {
 	ecfg := engine.DefaultConfig()
 	ecfg.Window = 5
 	ecfg.Budget = 20000
+	// Stream join output into the aggregation mid-interval: the agg
+	// stage consumes while the join is still working, instead of
+	// waiting for the driver's store-and-forward barrier.
+	ecfg.Pipeline = true
 	e := engine.New(gen.Next, ecfg, s0, s1)
 	defer e.Stop()
 

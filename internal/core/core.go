@@ -91,6 +91,16 @@ type Config struct {
 	// individual tuples by arrival order, which concurrent feeders
 	// interleave nondeterministically.
 	Feeders int
+	// Pipeline selects streaming inter-stage transfer
+	// (engine.Config.Pipeline): upstream tasks flush emissions straight
+	// into the next stage mid-interval instead of the driver's
+	// store-and-forward barrier. The single-stage topology NewSystem
+	// builds is unaffected (pinned by test); the knob is plumbed
+	// through so the exhibits' A/B harness and future multi-stage
+	// system constructors select the mode in one place. Engines fix
+	// their stage list at construction — build multi-stage topologies
+	// with engine.New directly, as examples/tpch does.
+	Pipeline bool
 	// MinKeys delays rebalancing until the operator has seen this many
 	// keys (warm-up guard).
 	MinKeys int
@@ -191,6 +201,7 @@ func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) 
 	ecfg.Budget = cfg.Budget
 	ecfg.Capacity = cfg.Capacity
 	ecfg.Feeders = cfg.Feeders
+	ecfg.Pipeline = cfg.Pipeline
 	if cfg.Algorithm == AlgPKG {
 		// PKG's split keys require a downstream merge of partial
 		// results every period p (the paper settled on p = 10 ms); the

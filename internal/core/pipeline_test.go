@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// TestPipelinePassThrough pins the Config.Pipeline plumbing: the knob
+// reaches the engine, and on the single-stage topology NewSystem
+// builds it is a strict no-op — the interval series is bit-identical
+// to the store-and-forward run.
+func TestPipelinePassThrough(t *testing.T) {
+	run := func(pipeline bool) *System {
+		gen := workload.NewZipfStream(2000, 0.9, 1.0, 8000, 53)
+		sys := NewSystemBatch(Config{
+			Instances: 6,
+			Algorithm: AlgMixed,
+			Budget:    8000,
+			MinKeys:   64,
+			Pipeline:  pipeline,
+		}, gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+		defer sys.Stop()
+		ar := sys.Stage.AssignmentRouter()
+		sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+		sys.Run(6)
+		return sys
+	}
+	sf, pl := run(false), run(true)
+	if !pl.Engine.Cfg.Pipeline {
+		t.Fatal("Config.Pipeline did not reach the engine")
+	}
+	a, b := sf.Recorder().Series, pl.Recorder().Series
+	for i := range a {
+		ma, mb := a[i], b[i]
+		ma.PlanMs, mb.PlanMs = 0, 0
+		if ma != mb {
+			t.Fatalf("single-stage interval %d diverges under Pipeline:\n%+v\n%+v", i, ma, mb)
+		}
+	}
+}

@@ -76,6 +76,22 @@ type Config struct {
 	// while order-dependent routers (PKG, shuffle) observe the feeders'
 	// nondeterministic interleaving.
 	Feeders int
+	// Pipeline selects streaming inter-stage transfer: each task
+	// flushes its emitted tuples straight into the next stage in
+	// emitChunk-sized batches as they fill, from its own goroutine, so
+	// stage s+1 consumes and processes while stage s is still working.
+	// The interval then ends with a cascading close — barrier stage s,
+	// flush each task's residual emission buffer downstream, close
+	// stage s+1 — instead of the driver's store-and-forward
+	// Barrier/DrainEmitted/FeedBatch sequence. The emitted multiset,
+	// per-stage arrival totals, harvest snapshots and routing tables
+	// are identical either way; only arrival *order* at downstream
+	// stages changes, which none of those observe (order-dependent
+	// downstream routers — PKG, shuffle — see the interleaving, as they
+	// do under Feeders > 1). False keeps the store-and-forward path, so
+	// the equivalence stays testable. Single-stage topologies are
+	// unaffected either way.
+	Pipeline bool
 }
 
 // DefaultConfig returns the model used across the experiments. The
@@ -131,6 +147,7 @@ type Engine struct {
 	capacity  []int64 // per stage
 	backlogT  [][]int64
 	lastEmit  int64
+	wired     bool // inter-stage sinks currently wired for Cfg.Pipeline
 	stopped   bool
 	snapshots []*stats.Snapshot // last interval's, per stage (for tests)
 	scratch   []tuple.Tuple     // reusable emission buffer (FeedBatch copies out of it)
@@ -202,31 +219,67 @@ func (e *Engine) RunInterval() {
 	}
 	target := e.Stages[e.Target]
 
-	// Backpressure: Storm's max-pending. The spout halves its pace in
-	// proportion to the worst backlog beyond the pending threshold.
+	// (Un)wire the inter-stage emission sinks when the mode changed
+	// since the last interval; publish the interval index every task
+	// stamps on emitted tuples. Tasks are idle here (the previous
+	// interval ended with barriers), and the emission sends below give
+	// them the happens-before edge on both writes.
+	pipelined := e.Cfg.Pipeline && len(e.Stages) > 1
+	if pipelined != e.wired {
+		for si := 0; si+1 < len(e.Stages); si++ {
+			var next *Stage
+			if pipelined {
+				next = e.Stages[si+1]
+			}
+			e.Stages[si].SetDownstream(next)
+		}
+		e.wired = pipelined
+	}
+	for _, s := range e.Stages {
+		s.StartInterval(e.interval)
+	}
+
+	// Backpressure: Storm's max-pending, applied against every stage —
+	// with stages running concurrently, a slow downstream stage must
+	// throttle the spout exactly like the stage under study. The spout
+	// slows in proportion to the worst backlog-beyond-threshold across
+	// all stages.
 	emitN := e.Cfg.Budget
-	maxPending := int64(e.Cfg.MaxPendingFactor * float64(e.capacity[e.Target]))
-	var worst int64
-	for _, b := range target.Backlog {
-		if b > worst {
-			worst = b
+	throttle := 1.0
+	for si, s := range e.Stages {
+		maxPending := int64(e.Cfg.MaxPendingFactor * float64(e.capacity[si]))
+		if maxPending <= 0 {
+			continue
+		}
+		var worst int64
+		for _, b := range s.Backlog {
+			if b > worst {
+				worst = b
+			}
+		}
+		if worst > maxPending {
+			if f := float64(maxPending) / float64(worst); f < throttle {
+				throttle = f
+			}
 		}
 	}
-	if maxPending > 0 && worst > maxPending {
-		f := float64(maxPending) / float64(worst)
-		if f < 0.1 {
-			f = 0.1
+	if throttle < 1 {
+		if throttle < 0.1 {
+			throttle = 0.1
 		}
-		emitN = int64(f * float64(emitN))
+		emitN = int64(throttle * float64(emitN))
 	}
 	e.lastEmit = emitN
 
-	// Feed the pipeline, stage by stage (store-and-forward intervals).
-	// Emission runs through reusable scratch buffers in emitChunk-sized
-	// batches: the spout fills a scratch, the stage's FeedBatch copies
-	// the tuples into per-destination messages, and the scratch is
-	// immediately reusable for the next chunk. With Cfg.Feeders > 1 the
-	// budget is split across N feeder goroutines before the fan-out.
+	// Feed the pipeline. Emission runs through reusable scratch buffers
+	// in emitChunk-sized batches: the spout fills a scratch, the stage's
+	// FeedBatch copies the tuples into per-destination messages, and the
+	// scratch is immediately reusable for the next chunk. With
+	// Cfg.Feeders > 1 the budget is split across N feeder goroutines
+	// before the fan-out. Under Cfg.Pipeline every downstream stage is
+	// consuming concurrently from the first chunk on — its tasks receive
+	// upstream flushes mid-interval — so the emission loop below drives
+	// the whole topology, not just stage 0.
 	if got := e.emit(emitN); got < emitN {
 		// The spout ended early (finite batch sources); record the true
 		// emission so the model and metrics charge what actually
@@ -234,15 +287,31 @@ func (e *Engine) RunInterval() {
 		emitN = got
 		e.lastEmit = got
 	}
-	for si := 0; si < len(e.Stages); si++ {
-		e.Stages[si].Barrier()
-		e.Stages[si].FlushOps()
-		out := e.Stages[si].DrainEmitted()
-		if si+1 < len(e.Stages) {
-			for i := range out {
-				out[i].EmitTick = e.interval
+	if pipelined {
+		// Cascading close: once stage s's tasks have drained, flushed
+		// their interval hooks and streamed their residual buffers, all
+		// of stage s's output is in stage s+1's queues (or held by its
+		// pause epoch) and s+1 can be closed in turn. Interval
+		// semantics — which tuples belong to which interval, arrival
+		// accounting, migration safety — match store-and-forward
+		// exactly; only the transfer overlaps processing.
+		for si := 0; si < len(e.Stages); si++ {
+			e.Stages[si].CloseInterval()
+		}
+	} else {
+		// Store-and-forward: run each stage to completion, concatenate
+		// every task's emissions on the driver, and only then feed the
+		// next stage. EmitTick is stamped at emission time by
+		// TaskCtx.Emit, and DrainEmitted's buffer is reused across
+		// intervals, so this legacy path allocates nothing per interval
+		// once warm.
+		for si := 0; si < len(e.Stages); si++ {
+			e.Stages[si].Barrier()
+			e.Stages[si].FlushOps()
+			out := e.Stages[si].DrainEmitted()
+			if si+1 < len(e.Stages) {
+				e.Stages[si+1].FeedBatch(out)
 			}
-			e.Stages[si+1].FeedBatch(out)
 		}
 	}
 

@@ -30,17 +30,47 @@ type TaskCtx struct {
 	// Tracker accumulates the per-key statistics the controller
 	// harvests at interval boundaries.
 	Tracker *stats.Tracker
-	// out gathers tuples emitted downstream during the interval.
+	// out gathers tuples emitted downstream during the interval. With a
+	// sink wired (pipelined execution) it is the emission chunk buffer:
+	// streamed into the downstream stage whenever it fills to emitChunk
+	// and at interval close, so it never grows past one chunk. Without a
+	// sink it accumulates for the driver's DrainEmitted.
 	out []tuple.Tuple
+	// sink is the downstream stage pipelined emissions flush into. It is
+	// nil under store-and-forward execution (the driver drains out
+	// instead) and on the last stage (whose emissions are discarded at
+	// interval close, as the driver's drain-and-drop does).
+	sink *Stage
+	// emitTick is the interval index stamped on emitted tuples,
+	// maintained by Stage.StartInterval.
+	emitTick int64
 	// ProcessedTuples and ProcessedCost account the work done this
 	// interval (reset at barriers).
 	ProcessedTuples int64
 	ProcessedCost   int64
 }
 
-// Emit sends a tuple to the next stage (collected at the interval
-// barrier and routed by the engine).
-func (c *TaskCtx) Emit(t tuple.Tuple) { c.out = append(c.out, t) }
+// Emit sends a tuple to the next stage, stamped with the emitting
+// interval. Under pipelined execution a full chunk flushes straight
+// into the downstream stage from the emitting task's goroutine;
+// otherwise tuples collect until the driver drains them at the
+// interval barrier.
+func (c *TaskCtx) Emit(t tuple.Tuple) {
+	t.EmitTick = c.emitTick
+	c.out = append(c.out, t)
+	if c.sink != nil && len(c.out) >= emitChunk {
+		c.flushDown()
+	}
+}
+
+// flushDown streams the buffered emissions into the downstream stage
+// and resets the buffer. FeedBatch copies tuples out of its argument,
+// so the buffer is immediately reusable; downstream pause epochs are
+// honored exactly as for feeder sends (held tuples replay on Resume).
+func (c *TaskCtx) flushDown() {
+	c.sink.FeedBatch(c.out)
+	c.out = c.out[:0]
+}
 
 // Operator is the processing logic of one logical operator. Process
 // runs on the owning task's goroutine; implementations must not share

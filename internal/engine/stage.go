@@ -63,6 +63,16 @@ type Stage struct {
 	Backlog    []int64
 	MigPenalty []int64
 
+	// down is the pipelined emission sink (nil when store-and-forward
+	// or last stage); curTick the current interval index. Both are
+	// propagated to tasks created later by ScaleOut.
+	down    *Stage
+	curTick int64
+	// drainBuf is DrainEmitted's reused concatenation buffer, so the
+	// legacy store-and-forward path allocates nothing per interval once
+	// warm.
+	drainBuf []tuple.Tuple
+
 	stopped bool
 }
 
@@ -239,6 +249,48 @@ func (s *Stage) Barrier() {
 	}
 }
 
+// SetDownstream wires (or, with nil, unwires) the stage's pipelined
+// emission sink: every task's Emit streams into next.FeedBatch in
+// emitChunk-sized batches from the task's own goroutine, instead of
+// accumulating for the driver's DrainEmitted. Must be called while
+// tasks are idle; the engine does so before the first pipelined
+// interval.
+func (s *Stage) SetDownstream(next *Stage) {
+	s.down = next
+	for _, t := range s.tasks {
+		t.ctx.sink = next
+	}
+}
+
+// StartInterval publishes the interval index tasks stamp on emitted
+// tuples (tuple.EmitTick at emission time). Must be called while tasks
+// are idle; the engine does so before each interval's emission, and
+// the subsequent channel sends give tasks the happens-before edge.
+func (s *Stage) StartInterval(interval int64) {
+	s.curTick = interval
+	for _, t := range s.tasks {
+		t.ctx.emitTick = interval
+	}
+}
+
+// CloseInterval is the pipelined interval close: every task runs its
+// operator's FlushInterval hook (when implemented) and flushes its
+// residual emission buffer downstream, on its own goroutine, after
+// draining its queue — the per-stage step of the engine's cascading
+// close. All tasks close concurrently; CloseInterval returns when the
+// slowest is done, at which point every tuple this stage emitted this
+// interval is in the downstream stage's queues (or held by its pause
+// epoch) and the downstream stage may be closed in turn.
+func (s *Stage) CloseInterval() {
+	dones := make([]chan struct{}, len(s.tasks))
+	for i, t := range s.tasks {
+		dones[i] = t.closeInterval()
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
 // FlushOps invokes FlushInterval on every task whose operator
 // implements engine.IntervalFlusher, on the task goroutine.
 func (s *Stage) FlushOps() {
@@ -250,13 +302,17 @@ func (s *Stage) FlushOps() {
 }
 
 // DrainEmitted collects and clears the tuples emitted downstream by all
-// tasks during this interval. Call after Barrier.
+// tasks during this interval. Call after Barrier. The returned slice is
+// backed by a per-stage buffer reused across intervals (steady state
+// allocates nothing) and is valid until the next DrainEmitted call;
+// Stage.FeedBatch copies out of it, so feeding it onward is safe.
 func (s *Stage) DrainEmitted() []tuple.Tuple {
-	var out []tuple.Tuple
+	out := s.drainBuf[:0]
 	for _, t := range s.tasks {
 		out = append(out, t.ctx.out...)
-		t.ctx.out = nil
+		t.ctx.out = t.ctx.out[:0]
 	}
+	s.drainBuf = out
 	return out
 }
 
@@ -489,7 +545,13 @@ func (s *Stage) ScaleOut() int64 {
 	newHash := ring.Grow()
 
 	id := len(s.tasks)
-	s.tasks = append(s.tasks, newTask(id, s.opFn(id), s.window))
+	nt := newTask(id, s.opFn(id), s.window)
+	// The new instance joins the running interval: it inherits the
+	// pipelined sink and emission tick its siblings got at wiring /
+	// StartInterval time.
+	nt.ctx.sink = s.down
+	nt.ctx.emitTick = s.curTick
+	s.tasks = append(s.tasks, nt)
 	s.arrivedCost = append(s.arrivedCost, 0)
 	s.arrivedTuples = append(s.arrivedTuples, 0)
 	s.Backlog = append(s.Backlog, 0)

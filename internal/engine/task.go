@@ -132,6 +132,29 @@ func (t *task) barrierAsync(fn func(*TaskCtx)) chan struct{} {
 	return done
 }
 
+// closeInterval enqueues the pipelined interval-close thunk: drain the
+// queue, run the operator's FlushInterval hook when implemented, then
+// flush the residual emission buffer downstream — or discard it on a
+// sink-less last stage, matching the driver's store-and-forward
+// drain-and-drop. Running on the task goroutine serializes the
+// residual flush with the task's own mid-interval flushes. Returns the
+// done channel so the stage can close all tasks concurrently.
+func (t *task) closeInterval() chan struct{} {
+	f, _ := t.op.(IntervalFlusher)
+	return t.barrierAsync(func(ctx *TaskCtx) {
+		if f != nil {
+			f.FlushInterval(ctx)
+		}
+		if ctx.sink != nil {
+			if len(ctx.out) > 0 {
+				ctx.flushDown()
+			}
+		} else {
+			ctx.out = ctx.out[:0]
+		}
+	})
+}
+
 // stop closes the input channel and waits for the goroutine to exit.
 func (t *task) stop() {
 	close(t.in)

@@ -77,6 +77,7 @@ func runPipeline(alg core.Algorithm, budget int64) (emitted, thr, sunk float64) 
 
 	cfg := engine.DefaultConfig()
 	cfg.Budget = budget
+	cfg.Pipeline = usePipeline
 	e := engine.New(gen.Next, cfg, s0, s1, s2)
 	defer e.Stop()
 	e.Target = 1 // operator 2 drives the backpressure and the metrics

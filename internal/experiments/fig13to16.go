@@ -64,6 +64,7 @@ func buildSystem(s realSpec) *core.System {
 		Budget:    realBudget,
 		Capacity:  int64(baseCost) * realBudget / int64(nd),
 		MinKeys:   32,
+		Pipeline:  usePipeline,
 	}
 	spout := func() tuple.Tuple {
 		t := s.next()
