@@ -4,7 +4,7 @@ GO ?= go
 # Spout parallelism for bench-dataplane (the scaling-curve knob).
 FEEDERS ?= 1
 
-.PHONY: verify build test vet bench bench-dataplane bench-multistage exhibits
+.PHONY: verify build test vet bench bench-dataplane bench-multistage exhibits smoke-examples
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -41,3 +41,12 @@ bench-multistage:
 ## not change; fig01's shuffle stages may interleave on multicore).
 exhibits:
 	$(GO) run ./cmd/benchrunner $(if $(PIPELINE),-pipeline)
+
+## smoke-examples: run every example topology end to end with a
+## 2-interval budget (compiling ./examples/... is not enough — the
+## builder wiring must actually execute).
+smoke-examples:
+	@for d in examples/*/; do \
+		echo "== $$d =="; \
+		REPRO_INTERVALS=2 $(GO) run ./$$d || exit 1; \
+	done

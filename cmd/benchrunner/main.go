@@ -46,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hashring"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -127,10 +128,14 @@ func main() {
 // per hot-path measurement, so successive PRs can track the trajectory
 // of the batched data plane. Feeders records the spout parallelism the
 // engine measurements ran with, so scaling-curve points taken at
-// different -feeders values are distinguishable.
+// different -feeders values are distinguishable; GoMaxProcs and NumCPU
+// record where the numbers were taken — fan-out and pipeline-overlap
+// measurements from a single-core host understate the parallel paths
+// (the ROADMAP's "multicore scaling numbers" item).
 type dataplaneReport struct {
 	Schema       string             `json:"schema"`
 	GoMaxProcs   int                `json:"gomaxprocs"`
+	NumCPU       int                `json:"num_cpu,omitempty"`
 	Feeders      int                `json:"feeders"`
 	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
 }
@@ -164,9 +169,14 @@ func readDataplaneReport(path string) (*dataplaneReport, error) {
 // already holds a report, the old numbers are printed next to the new
 // ones so perf PRs can quote the trajectory directly.
 func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64) error {
+	// The Feed/FeedBatch micro-measurements drive one stage directly
+	// (no spout, no intervals); the builder still declares it, and
+	// stopping the stage stops every goroutine the topology owns.
 	mk := func(nd int) *engine.Stage {
-		return engine.NewStage("bench", nd, func(int) engine.Operator { return engine.Discard }, 1,
-			engine.NewAssignmentRouter(core.NewAssignment(nd)))
+		return topology.New().
+			Stage("bench", func(int) engine.Operator { return engine.Discard },
+				topology.Instances(nd)).
+			Build().Stage(0)
 	}
 	keys := make([]tuple.Tuple, 4096)
 	for i := range keys {
@@ -183,6 +193,7 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 	report := dataplaneReport{
 		Schema:       "dataplane-v3",
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Feeders:      feeders,
 		TuplesPerSec: map[string]float64{},
 	}
@@ -308,21 +319,26 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 			var emittedTotal int64
 			r := testing.Benchmark(func(b *testing.B) {
 				gen := workload.NewZipfStream(10000, 0.85, 0, msBudget, 17)
-				s0 := engine.NewStage("ms-map", nd, func(int) engine.Operator { return fwd }, 1,
-					engine.NewAssignmentRouter(core.NewAssignment(nd)))
-				s1 := engine.NewStage("ms-sink", nd, func(int) engine.Operator { return engine.Discard }, 1,
-					engine.NewAssignmentRouter(core.NewAssignment(nd)))
-				cfg := engine.DefaultConfig()
-				cfg.Budget = msBudget
-				cfg.MaxPendingFactor = 0 // saturate: measure transfer, not the throttle
-				cfg.Pipeline = pipelined
-				e := engine.NewBatch(gen.NextBatch, cfg, s0, s1)
-				defer e.Stop()
+				mode := topology.StoreAndForward()
+				if pipelined {
+					mode = topology.Pipelined()
+				}
+				sys := topology.New(
+					topology.SpoutBatch(gen.NextBatch),
+					topology.Budget(msBudget),
+					topology.MaxPending(0), // saturate: measure transfer, not the throttle
+					mode,
+				).Stage("ms-map", func(int) engine.Operator { return fwd },
+					topology.Instances(nd),
+				).Stage("ms-sink", func(int) engine.Operator { return engine.Discard },
+					topology.Instances(nd),
+				).Build()
+				defer sys.Stop()
 				b.ResetTimer()
-				e.Run(b.N)
+				sys.Run(b.N)
 				b.StopTimer()
 				emittedTotal = 0
-				for _, m := range e.Recorder.Series {
+				for _, m := range sys.Recorder().Series {
 					emittedTotal += m.Emitted
 				}
 			})
@@ -339,7 +355,17 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("data-plane report written to %s (feeders=%d)\n", path, feeders)
+	fmt.Printf("data-plane report written to %s (feeders=%d, gomaxprocs=%d, numcpu=%d)\n",
+		path, feeders, report.GoMaxProcs, report.NumCPU)
+	// The fan-out and pipeline-overlap measurements only show their
+	// speedups with real parallelism: scaling-curve and multistage
+	// numbers recorded on a single-core host are not a usable baseline
+	// (ROADMAP "multicore scaling numbers").
+	if (feeders > 1 || multistage) && (report.NumCPU == 1 || report.GoMaxProcs == 1) {
+		fmt.Fprintf(os.Stderr, "warning: recording feeders/pipeline numbers on a single-core host "+
+			"(gomaxprocs=%d, numcpu=%d); parallel paths cannot show their speedup here — "+
+			"record the scaling curve on a multicore machine\n", report.GoMaxProcs, report.NumCPU)
+	}
 	// Deltas are a trajectory only when the configurations match: a
 	// baseline taken at another feeder count or GOMAXPROCS measured
 	// different work.

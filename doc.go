@@ -10,12 +10,36 @@
 //
 // Entry points:
 //
-//   - internal/core: the embedding API (Config, NewSystem,
-//     NewSystemBatch, planners)
+//   - internal/topology: the declarative builder for multi-stage
+//     systems (per-stage routing, planners, capacity; pipelined
+//     transfer by default) — see Example_topology
+//   - internal/core: the single-stage embedding API (Config,
+//     NewSystem, NewSystemBatch), a thin wrapper over the builder
 //   - cmd/benchrunner: regenerate any exhibit (-exp fig13), or measure
 //     the tuple hot path (-dataplane BENCH_dataplane.json)
 //   - bench_test.go: the same exhibits as testing.B benchmarks
-//   - examples/: runnable demonstration topologies
+//   - examples/: runnable demonstration topologies, all declared
+//     through the builder
+//
+// # Topology builder
+//
+// Multi-stage systems are declared, not hand-wired:
+//
+//	sys := topology.New(topology.Spout(gen.Next), topology.Budget(20000)).
+//		Stage("join", joins.Factory, topology.Instances(10), topology.Window(5),
+//			topology.WithAlgorithm(topology.AlgMixed), topology.MinKeys(64)).
+//		Stage("agg", aggs.Factory, topology.Instances(4), topology.Window(5)).
+//		Build()
+//
+// Per-stage options select instances, window, algorithm or raw router
+// (assignment, PKG, shuffle), planner/controller and service capacity.
+// Every stage may carry its own controller — the engine fans each
+// stage's harvest snapshot out to per-stage hooks
+// (engine.AddSnapshotHook), so a two-stage topology can rebalance both
+// stages independently. Topologies with two or more stages run the
+// streaming inter-stage pipeline by default;
+// topology.StoreAndForward() keeps the legacy barrier transfer, which
+// remains the equivalence-test oracle.
 //
 // # Parallel runtime
 //

@@ -9,45 +9,48 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/balance"
-	"repro/internal/controller"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/longterm"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
 func main() {
 	gen := workload.NewZipfStream(5000, 0.85, 1.0, 7000, 21)
-	st := engine.NewStage("op", 8,
-		func(int) engine.Operator { return engine.StatefulCount }, 1,
-		engine.NewAssignmentRouter(core.NewAssignment(8)))
-	cfg := engine.DefaultConfig()
-	cfg.Budget = 7000
-	cfg.Capacity = 1000
-	e := engine.New(gen.Next, cfg, st)
-	defer e.Stop()
 
-	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5})
-	ctl.MinKeys = 32
-	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector(), Inner: ctl.Hook()}
-	e.OnSnapshot = scaler.Hook()
+	// The builder wires the short-term path (Mixed controller on the
+	// stage); the long-term detector layers on top as a raw per-stage
+	// snapshot hook, running after the rebalancer each interval.
+	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector()}
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(7000),
+	).Stage("op", func(int) engine.Operator { return engine.StatefulCount },
+		topology.Instances(8),
+		topology.Capacity(1000),
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.08), topology.MinKeys(32),
+		topology.WithStageHook(scaler),
+	).Build()
+	defer sys.Stop()
+
+	st := sys.Stage(0)
 	ar := st.AssignmentRouter()
-	e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 
 	fmt.Println("interval  instances  emitted  throughput  util(EWMA)")
-	for i := 0; i < 30; i++ {
+	for i := 0; i < topology.Intervals(30); i++ {
 		if i == 12 {
-			e.Cfg.Budget = 11200 // the long-term shift: +60% input rate
+			sys.Engine.Cfg.Budget = 11200 // the long-term shift: +60% input rate
 			gen.PerInterval = 11200
 			fmt.Println("--- long-term shift: input rate +60% ---")
 		}
-		e.RunInterval()
-		m := e.Recorder.Series[i]
+		sys.Run(1)
+		m := sys.Recorder().Series[i]
 		fmt.Printf("%8d  %9d  %7d  %10.0f  %10.2f\n",
 			i, st.Instances(), m.Emitted, m.Throughput, scaler.Detector.Utilization())
 	}
 	fmt.Println()
 	fmt.Print(scaler.Summary())
-	fmt.Printf("short-term rebalances: %d\n", ctl.Rebalances())
+	fmt.Printf("short-term rebalances: %d\n", sys.Controller(0).Rebalances())
 }

@@ -8,8 +8,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -18,35 +18,36 @@ func main() {
 	// default rate f = 1.0, 10,000 tuples per 1-second interval.
 	gen := workload.NewZipfStream(10000, 0.85, 1.0, 10000, 42)
 
-	// NewSystemBatch wires the generator's batch draw straight into the
-	// engine's reusable emission buffer — the batched data plane end to
-	// end. (core.NewSystem with gen.Next behaves identically, one
-	// adapter slower.)
-	sys := core.NewSystemBatch(core.Config{
-		Instances: 10,   // N_D
-		ThetaMax:  0.08, // imbalance tolerance
-		TableMax:  3000, // A_max
-		Algorithm: core.AlgMixed,
-		Budget:    10000,
-		MinKeys:   64,
-	}, gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
+	// The topology builder declares the whole system: a batch-capable
+	// spout (the generator's NextBatch draws straight into the engine's
+	// reusable emission buffer) feeding one Mixed-rebalanced stage.
+	sys := topology.New(
+		topology.SpoutBatch(gen.NextBatch),
+		topology.Budget(10000),
+	).Stage("counter", func(int) engine.Operator { return engine.StatefulCount },
+		topology.Instances(10),                    // N_D
+		topology.WithAlgorithm(topology.AlgMixed), // router + planner + controller
+		topology.Theta(0.08),                      // imbalance tolerance
+		topology.TableMax(3000),                   // A_max
+		topology.MinKeys(64),
+	).Build()
 	defer sys.Stop()
 
 	// Fluctuations swap key frequencies between instances of the live
 	// assignment, as the paper's generator does.
-	ar := sys.Stage.AssignmentRouter()
+	ar := sys.Stage(0).AssignmentRouter()
 	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 
 	fmt.Println("interval  throughput  latency_ms  skewness  rebalanced  table  migration%")
-	for i := 0; i < 15; i++ {
+	for i := 0; i < topology.Intervals(15); i++ {
 		sys.Run(1)
 		m := sys.Recorder().Series[i]
 		fmt.Printf("%8d  %10.0f  %10.1f  %8.3f  %10v  %5d  %9.2f\n",
 			m.Index, m.Throughput, m.LatencyMs, m.Skewness, m.Rebalanced, m.TableSize, m.MigrationPct)
 	}
 
-	fmt.Printf("\nrebalances applied: %d\n", sys.Controller.Rebalances())
+	fmt.Printf("\nrebalances applied: %d\n", sys.Controller(0).Rebalances())
 	fmt.Printf("mean throughput:    %.0f tuples/s\n", sys.Recorder().MeanThroughput())
-	fmt.Printf("routing table size: %d entries (bound %d)\n",
-		ar.Assignment().Table().Len(), sys.Cfg.TableMax)
+	fmt.Printf("routing table size: %d entries (bound 3000)\n",
+		ar.Assignment().Table().Len())
 }

@@ -10,42 +10,48 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/ops"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
 func main() {
 	gen := workload.NewSocial(30000, 0.85, 0.002, 3)
 	fleet := ops.NewWordCountFleet()
-	sys := core.NewSystem(core.Config{
-		Instances: 9,
-		ThetaMax:  0.1,
-		Algorithm: core.AlgMixed,
-		Budget:    10000,
-		MinKeys:   64,
-	}, gen.Next, fleet.Factory)
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(10000),
+		topology.AdvanceEach(func(int64) { gen.Advance() }),
+	).Stage("wordcount", fleet.Factory,
+		topology.Instances(9),
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.1), topology.MinKeys(64),
+	).Build()
 	defer sys.Stop()
-	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance() }
 
 	fmt.Println("interval  instances  throughput  rebalanced  migration%")
 	report := func(from, to int) {
 		for _, m := range sys.Recorder().Series[from:to] {
 			fmt.Printf("%8d  %9d  %10.0f  %10v  %10.2f\n",
-				m.Index, sys.Stage.Instances(), m.Throughput, m.Rebalanced, m.MigrationPct)
+				m.Index, sys.Stage(0).Instances(), m.Throughput, m.Rebalanced, m.MigrationPct)
 		}
 	}
 
-	sys.Run(8)
-	report(0, 8)
+	total := topology.Intervals(18)
+	pre := 8
+	if pre > total {
+		pre = total
+	}
+	sys.Run(pre)
+	report(0, pre)
 
 	moved := sys.Engine.ScaleOutTarget()
 	fmt.Printf("--- scale-out: instance 9 added; consistent hashing moved %d state units ---\n", moved)
 
-	sys.Run(10)
-	report(8, 18)
+	sys.Run(total - pre)
+	report(pre, total)
 
 	fmt.Printf("\nthe ring reshuffles only ~1/10 of the keys on growth; the Mixed\n")
 	fmt.Printf("controller then rebalances the remainder (total rebalances: %d).\n",
-		sys.Controller.Rebalances())
+		sys.Controller(0).Rebalances())
 }

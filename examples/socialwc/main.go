@@ -9,44 +9,46 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/ops"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
-const intervals = 20
-
-func run(alg core.Algorithm) (thr, lat float64, rebalances int) {
+func run(alg topology.Algorithm, intervals int) (thr, lat float64, rebalances int) {
 	gen := workload.NewSocial(30000, 0.85, 0.002, 7)
 	fleet := ops.NewWordCountFleet()
-	sys := core.NewSystem(core.Config{
-		Instances: 10,
-		ThetaMax:  0.02, // strict balancing — the paper's best setting
-		Algorithm: alg,
-		Budget:    10000,
-		MinKeys:   64,
-	}, gen.Next, fleet.Factory)
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(10000),
+		topology.AdvanceEach(func(int64) { gen.Advance() }),
+	).Stage("wordcount", fleet.Factory,
+		topology.Instances(10),
+		topology.WithAlgorithm(alg),
+		topology.Theta(0.02), // strict balancing — the paper's best setting
+		topology.MinKeys(64),
+	).Build()
 	defer sys.Stop()
-	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance() }
 
 	sys.Run(intervals)
-	for _, m := range sys.Recorder().Series[4:] {
+	warmup := 4
+	if warmup >= intervals {
+		warmup = 0
+	}
+	for _, m := range sys.Recorder().Series[warmup:] {
 		thr += m.Throughput
 		lat += m.LatencyMs
 	}
-	n := float64(intervals - 4)
-	if sys.Controller != nil {
-		rebalances = sys.Controller.Rebalances()
-	}
-	return thr / n, lat / n, rebalances
+	n := float64(intervals - warmup)
+	return thr / n, lat / n, sys.Rebalances()
 }
 
 func main() {
+	intervals := topology.Intervals(20)
 	fmt.Println("word count on a 30k-topic social feed, theta_max = 0.02")
 	fmt.Println()
 	fmt.Println("scheme  throughput  latency_ms  rebalances")
-	for _, alg := range []core.Algorithm{core.AlgStorm, core.AlgPKG, core.AlgMixed} {
-		thr, lat, reb := run(alg)
+	for _, alg := range []topology.Algorithm{topology.AlgStorm, topology.AlgPKG, topology.AlgMixed} {
+		thr, lat, reb := run(alg, intervals)
 		fmt.Printf("%-6s  %10.0f  %10.1f  %10d\n", alg, thr, lat, reb)
 	}
 	fmt.Println("\nexpected shape (Fig. 14a): Mixed > PKG > Storm on throughput;")

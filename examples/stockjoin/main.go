@@ -10,8 +10,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/ops"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -19,19 +19,20 @@ func main() {
 	gen := workload.NewStock(0, 0.85, 11) // 1,036 symbols, bursts
 	fleet := ops.NewSelfJoinFleet(false)
 
-	sys := core.NewSystem(core.Config{
-		Instances: 10,
-		Window:    5, // sliding window of 5 intervals
-		ThetaMax:  0.08,
-		Algorithm: core.AlgMixed,
-		Budget:    10000,
-		MinKeys:   32,
-	}, gen.Next, fleet.Factory)
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(10000),
+		topology.AdvanceEach(func(int64) { gen.Advance() }),
+	).Stage("selfjoin", fleet.Factory,
+		topology.Instances(10),
+		topology.Window(5), // sliding window of 5 intervals
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.08), topology.MinKeys(32),
+	).Build()
 	defer sys.Stop()
-	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance() }
 
 	fmt.Println("interval  throughput  bursts  rebalanced  migration%  matches_total")
-	for i := 0; i < 20; i++ {
+	for i := 0; i < topology.Intervals(20); i++ {
 		sys.Run(1)
 		m := sys.Recorder().Series[i]
 		fmt.Printf("%8d  %10.0f  %6d  %10v  %10.2f  %13d\n",
@@ -39,7 +40,7 @@ func main() {
 			m.MigrationPct, fleet.TotalMatches())
 	}
 	fmt.Printf("\nrebalances: %d; join pairs found: %d\n",
-		sys.Controller.Rebalances(), fleet.TotalMatches())
+		sys.Controller(0).Rebalances(), fleet.TotalMatches())
 	fmt.Println("bursting symbols trigger rebalances; the join keeps producing")
 	fmt.Println("matches across migrations because windows move with their keys.")
 }

@@ -1,7 +1,8 @@
 // TPC-H Q5 as a continuous query: orders and lineitems stream through
 // a windowed equi-join on the Zipf-skewed orderkey, then dimension
 // lookups, the region filter and a per-nation revenue aggregation —
-// the paper's §V pipeline built on dbgen-lite.
+// the paper's §V pipeline built on dbgen-lite, declared through the
+// topology builder with an independent controller on each stage.
 //
 //	go run ./examples/tpch
 package main
@@ -9,11 +10,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/balance"
-	"repro/internal/controller"
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/ops"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -26,40 +24,40 @@ func main() {
 	aggs := ops.NewNationRevenueFleet()
 
 	// Two-stage topology: skewed stateful join, then a 25-key nation
-	// aggregation. The controller manages the join stage.
-	s0 := engine.NewStage("q5-join", 10, joins.Factory, 5,
-		engine.NewAssignmentRouter(core.NewAssignment(10)))
-	s1 := engine.NewStage("q5-agg", 4, aggs.Factory, 5,
-		engine.NewAssignmentRouter(core.NewAssignment(4)))
+	// aggregation. Each stage carries its own Mixed controller — the
+	// join absorbs the FK skew, the aggregation its (mild) nation
+	// imbalance. With two stages the builder defaults to the streaming
+	// inter-stage pipeline: the aggregation consumes mid-interval while
+	// the join is still working (topology.StoreAndForward would select
+	// the legacy barrier transfer).
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(20000),
+		// FK popularity shifts every 5 intervals (the Fig. 16 trigger).
+		topology.AdvanceEach(func(i int64) {
+			if i%5 == 0 {
+				gen.Advance()
+			}
+		}),
+	).Stage("q5-join", joins.Factory,
+		topology.Instances(10), topology.Window(5),
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.1), topology.MinKeys(64),
+	).Stage("q5-agg", aggs.Factory,
+		topology.Instances(4), topology.Window(5),
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.1), topology.MinKeys(8),
+	).Build()
+	defer sys.Stop()
 
-	ecfg := engine.DefaultConfig()
-	ecfg.Window = 5
-	ecfg.Budget = 20000
-	// Stream join output into the aggregation mid-interval: the agg
-	// stage consumes while the join is still working, instead of
-	// waiting for the driver's store-and-forward barrier.
-	ecfg.Pipeline = true
-	e := engine.New(gen.Next, ecfg, s0, s1)
-	defer e.Stop()
+	intervals := topology.Intervals(25)
+	sys.Run(intervals)
 
-	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.1, TableMax: 3000, Beta: 1.5})
-	ctl.MinKeys = 64
-	e.OnSnapshot = ctl.Hook()
-	// FK popularity shifts every 5 intervals (the Fig. 16 trigger).
-	e.AdvanceWorkload = func(i int64) {
-		if i%5 == 0 {
-			gen.Advance()
-		}
-	}
-
-	for i := 0; i < 25; i++ {
-		e.RunInterval()
-	}
-
-	fmt.Println("continuous TPC-H Q5 over a 25-interval run:")
-	fmt.Printf("  mean throughput: %.0f tuples/s\n", e.Recorder.MeanThroughput())
+	fmt.Printf("continuous TPC-H Q5 over a %d-interval run:\n", intervals)
+	fmt.Printf("  mean throughput: %.0f tuples/s\n", sys.Recorder().MeanThroughput())
 	fmt.Printf("  join results:    %d rows\n", joins.TotalJoined())
-	fmt.Printf("  rebalances:      %d\n", ctl.Rebalances())
+	fmt.Printf("  rebalances:      %d on the join, %d on the aggregation\n",
+		sys.ControllerNamed("q5-join").Rebalances(), sys.ControllerNamed("q5-agg").Rebalances())
 	fmt.Println("\n  revenue by nation (region ASIA):")
 	for n := 0; n < len(workload.Regions)*workload.NationsPerRegion; n++ {
 		if workload.RegionOfNation(n) != region {

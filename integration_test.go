@@ -5,11 +5,10 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/balance"
-	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/longterm"
+	"repro/internal/topology"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -108,36 +107,38 @@ func TestAllPlannersEndToEndKeepCorrectCounts(t *testing.T) {
 
 // TestShortAndLongTermComposed drives the full §VII composition: Mixed
 // for fluctuations, the detector for a genuine shift, through the
-// public API only.
+// public API only — the topology builder wiring the controller, the
+// autoscaler layering on as a raw per-stage snapshot hook.
 func TestShortAndLongTermComposed(t *testing.T) {
 	gen := workload.NewZipfStream(2000, 0.85, 1.0, 6000, 19)
-	st := engine.NewStage("op", 6,
-		func(int) engine.Operator { return engine.StatefulCount }, 1,
-		engine.NewAssignmentRouter(core.NewAssignment(6)))
-	cfg := engine.DefaultConfig()
-	cfg.Budget = 6000
-	cfg.Capacity = 1200
-	e := engine.New(gen.Next, cfg, st)
-	defer e.Stop()
+	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector()}
+	sys := topology.New(
+		topology.Spout(gen.Next),
+		topology.Budget(6000),
+	).Stage("op", func(int) engine.Operator { return engine.StatefulCount },
+		topology.Instances(6),
+		topology.Capacity(1200),
+		topology.WithAlgorithm(topology.AlgMixed),
+		topology.Theta(0.08), topology.MinKeys(16),
+		topology.WithStageHook(scaler),
+	).Build()
+	defer sys.Stop()
 
-	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5})
-	ctl.MinKeys = 16
-	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector(), Inner: ctl.Hook()}
-	e.OnSnapshot = scaler.Hook()
+	st := sys.Stage(0)
 	ar := st.AssignmentRouter()
-	e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 
-	e.Run(10)
+	sys.Run(10)
 	preScale := st.Instances()
 	// Permanent 2× load shift.
-	e.Cfg.Budget = 12000
+	sys.Engine.Cfg.Budget = 12000
 	gen.PerInterval = 12000
-	e.Run(25)
+	sys.Run(25)
 
 	if st.Instances() <= preScale {
 		t.Fatalf("no scale-out under a 2x sustained shift (still %d instances)", st.Instances())
 	}
-	if ctl.Rebalances() == 0 {
+	if sys.Controller(0).Rebalances() == 0 {
 		t.Fatal("short-term controller idle the whole run")
 	}
 }

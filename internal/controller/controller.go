@@ -106,14 +106,30 @@ func (c *Controller) apply(stage *engine.Stage, plan *balance.Plan) *engine.Reba
 	return &engine.Rebalance{Plan: plan, Moved: moved}
 }
 
-// Hook adapts the controller to the engine's OnSnapshot callback,
-// managing only the engine's target stage.
-func (c *Controller) Hook() func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
+// Hook adapts the controller to the engine-wide OnSnapshot callback,
+// managing only the engine's target stage. Topologies where more than
+// one stage is controller-managed register one controller per stage
+// through StageHook and engine.AddSnapshotHook instead.
+func (c *Controller) Hook() engine.SnapshotHook {
 	return func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
 		if si != e.Target {
 			return nil
 		}
 		return c.Maybe(e.Stages[si], snap)
+	}
+}
+
+// StageHook adapts the controller to the engine's per-stage snapshot
+// fan-out: the returned hook manages exactly stage si, regardless of
+// which stage the engine records metrics for. Register it with
+// engine.AddSnapshotHook(si, ...); one controller must manage one
+// stage only (its pending-plan state is per-operator).
+func (c *Controller) StageHook(si int) engine.SnapshotHook {
+	return func(e *engine.Engine, idx int, snap *stats.Snapshot) *engine.Rebalance {
+		if idx != si {
+			return nil
+		}
+		return c.Maybe(e.Stages[idx], snap)
 	}
 }
 

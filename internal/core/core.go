@@ -12,47 +12,49 @@
 //	defer sys.Stop()
 //	sys.Run(50)
 //	fmt.Println(sys.Recorder().MeanThroughput())
+//
+// NewSystem builds single-stage systems; multi-stage topologies are
+// declared through the topology builder (package internal/topology),
+// which NewSystem and NewSystemBatch are thin wrappers over.
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/balance"
-	"repro/internal/compact"
 	"repro/internal/controller"
 	"repro/internal/engine"
-	"repro/internal/hashring"
 	"repro/internal/metrics"
-	"repro/internal/pkgpart"
-	"repro/internal/readj"
 	"repro/internal/route"
+	"repro/internal/topology"
 	"repro/internal/tuple"
 )
 
-// Algorithm names a rebalance strategy (or split-key baseline).
-type Algorithm string
+// Algorithm names a rebalance strategy (or split-key baseline). It is
+// the topology package's Algorithm; the alias keeps the historical
+// core.Alg* spellings working everywhere.
+type Algorithm = topology.Algorithm
 
 // The supported strategies. AlgStorm is hash-only with no rebalancing
 // (the Storm key-grouping baseline); AlgIdeal is key-oblivious shuffle.
 const (
-	AlgMixed    Algorithm = "mixed"
-	AlgMixedBF  Algorithm = "mixedbf"
-	AlgMinTable Algorithm = "mintable"
-	AlgMinMig   Algorithm = "minmig"
-	AlgLLFD     Algorithm = "llfd"
-	AlgSimple   Algorithm = "simple"
-	AlgCompact  Algorithm = "compact"
-	AlgReadj    Algorithm = "readj"
-	AlgStorm    Algorithm = "storm"
-	AlgPKG      Algorithm = "pkg"
-	AlgIdeal    Algorithm = "ideal"
+	AlgMixed    = topology.AlgMixed
+	AlgMixedBF  = topology.AlgMixedBF
+	AlgMinTable = topology.AlgMinTable
+	AlgMinMig   = topology.AlgMinMig
+	AlgLLFD     = topology.AlgLLFD
+	AlgSimple   = topology.AlgSimple
+	AlgCompact  = topology.AlgCompact
+	AlgReadj    = topology.AlgReadj
+	AlgStorm    = topology.AlgStorm
+	AlgPKG      = topology.AlgPKG
+	AlgIdeal    = topology.AlgIdeal
 )
 
 // PKGOverhead is the fraction of service capacity PKG's partial-result
 // merging and acking consume (~12%), calibrated so Mixed's throughput
 // advantage over PKG matches the ~10% the paper reports in Fig. 14(a).
-const PKGOverhead = 1.125
+const PKGOverhead = topology.PKGOverhead
 
 // Config selects the system layout and optimization parameters;
 // zero-valued fields take the paper's defaults (Tab. II).
@@ -95,11 +97,10 @@ type Config struct {
 	// (engine.Config.Pipeline): upstream tasks flush emissions straight
 	// into the next stage mid-interval instead of the driver's
 	// store-and-forward barrier. The single-stage topology NewSystem
-	// builds is unaffected (pinned by test); the knob is plumbed
-	// through so the exhibits' A/B harness and future multi-stage
-	// system constructors select the mode in one place. Engines fix
-	// their stage list at construction — build multi-stage topologies
-	// with engine.New directly, as examples/tpch does.
+	// builds is unaffected (pinned by test); multi-stage topologies are
+	// declared through the topology builder, where streaming transfer
+	// is the default and topology.StoreAndForward selects the barrier
+	// mode.
 	Pipeline bool
 	// MinKeys delays rebalancing until the operator has seen this many
 	// keys (warm-up guard).
@@ -111,33 +112,36 @@ type Config struct {
 	PlanInterval time.Duration
 }
 
+// withDefaults fills zero-valued fields from the paper's Tab. II
+// defaults — the same constants the topology builder applies, so the
+// two façades cannot drift.
 func (c Config) withDefaults() Config {
 	if c.Instances == 0 {
-		c.Instances = 10
+		c.Instances = topology.DefInstances
 	}
 	if c.Window == 0 {
-		c.Window = 1
+		c.Window = topology.DefWindow
 	}
 	if c.ThetaMax == 0 {
-		c.ThetaMax = 0.08
+		c.ThetaMax = topology.DefTheta
 	}
 	if c.TableMax == 0 {
-		c.TableMax = 3000
+		c.TableMax = topology.DefTableMax
 	}
 	if c.Beta == 0 {
-		c.Beta = 1.5
+		c.Beta = topology.DefBeta
 	}
 	if c.Algorithm == "" {
 		c.Algorithm = AlgMixed
 	}
 	if c.CompactR == 0 {
-		c.CompactR = 8
+		c.CompactR = topology.DefCompactR
 	}
 	if c.ReadjSigma == 0 {
-		c.ReadjSigma = 0.1
+		c.ReadjSigma = topology.DefReadjSigma
 	}
 	if c.Budget == 0 {
-		c.Budget = 10000
+		c.Budget = topology.DefBudget
 	}
 	return c
 }
@@ -157,28 +161,7 @@ func (c Config) BalanceConfig() balance.Config {
 // nil.
 func NewPlanner(cfg Config) balance.Planner {
 	cfg = cfg.withDefaults()
-	switch cfg.Algorithm {
-	case AlgMixed:
-		return balance.Mixed{}
-	case AlgMixedBF:
-		return balance.MixedBF{}
-	case AlgMinTable:
-		return balance.MinTable{}
-	case AlgMinMig:
-		return balance.MinMig{}
-	case AlgLLFD:
-		return balance.LLFD{}
-	case AlgSimple:
-		return balance.Simple{}
-	case AlgCompact:
-		return compact.Planner{R: cfg.CompactR}
-	case AlgReadj:
-		return readj.Planner{Sigma: cfg.ReadjSigma}
-	case AlgStorm, AlgPKG, AlgIdeal:
-		return nil
-	default:
-		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algorithm))
-	}
+	return topology.PlannerFor(cfg.Algorithm, cfg.CompactR, cfg.ReadjSigma)
 }
 
 // System is a single-operator topology under one rebalance strategy.
@@ -191,41 +174,34 @@ type System struct {
 
 // NewSystem builds a spout → operator topology with ND instances of
 // op(id), routed according to cfg.Algorithm, rebalanced by the matching
-// planner (if any).
+// planner (if any). It is a thin wrapper over the topology builder for
+// the single-stage case.
 func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) *System {
 	cfg = cfg.withDefaults()
-	router := newRouter(cfg)
-	st := engine.NewStage("operator", cfg.Instances, op, cfg.Window, router)
-	ecfg := engine.DefaultConfig()
-	ecfg.Window = cfg.Window
-	ecfg.Budget = cfg.Budget
-	ecfg.Capacity = cfg.Capacity
-	ecfg.Feeders = cfg.Feeders
-	ecfg.Pipeline = cfg.Pipeline
-	if cfg.Algorithm == AlgPKG {
-		// PKG's split keys require a downstream merge of partial
-		// results every period p (the paper settled on p = 10 ms); the
-		// coordination costs both latency and throughput (§V: merging
-		// "leads to additional response time increase and overall
-		// processing throughput reduction"). The latency floor models
-		// p/2 + ack waiting; PKGOverhead shaves the equivalent service
-		// capacity.
-		ecfg.LatencyFloorMs = 10
-		if ecfg.Capacity == 0 {
-			ecfg.Capacity = int64(float64(cfg.Budget/int64(cfg.Instances)) / PKGOverhead)
-		} else {
-			ecfg.Capacity = int64(float64(ecfg.Capacity) / PKGOverhead)
-		}
+	opts := []topology.Option{
+		topology.Spout(spout),
+		topology.Budget(cfg.Budget),
+		topology.Feeders(cfg.Feeders),
 	}
-	e := engine.New(spout, ecfg, st)
-	sys := &System{Cfg: cfg, Engine: e, Stage: st}
-	if p := NewPlanner(cfg); p != nil {
-		sys.Controller = controller.New(p, cfg.BalanceConfig())
-		sys.Controller.MinKeys = cfg.MinKeys
-		sys.Controller.IntervalDuration = cfg.PlanInterval
-		e.OnSnapshot = sys.Controller.Hook()
+	if cfg.Pipeline {
+		opts = append(opts, topology.Pipelined())
+	} else {
+		opts = append(opts, topology.StoreAndForward())
 	}
-	return sys
+	t := topology.New(opts...).Stage("operator", op,
+		topology.Instances(cfg.Instances),
+		topology.Window(cfg.Window),
+		topology.WithAlgorithm(cfg.Algorithm),
+		topology.Theta(cfg.ThetaMax),
+		topology.TableMax(cfg.TableMax),
+		topology.Beta(cfg.Beta),
+		topology.CompactR(cfg.CompactR),
+		topology.ReadjSigma(cfg.ReadjSigma),
+		topology.Capacity(cfg.Capacity),
+		topology.MinKeys(cfg.MinKeys),
+		topology.PlanInterval(cfg.PlanInterval),
+	).Build()
+	return &System{Cfg: cfg, Engine: t.Engine, Stage: t.Stage(0), Controller: t.Controller(0)}
 }
 
 // NewSystemBatch is NewSystem with a batch-capable spout: the engine
@@ -242,22 +218,10 @@ func NewSystemBatch(cfg Config, spout engine.SpoutBatch, op func(id int) engine.
 	return sys
 }
 
-// newRouter builds the stage router matching the algorithm.
-func newRouter(cfg Config) engine.Router {
-	switch cfg.Algorithm {
-	case AlgPKG:
-		return engine.PKGRouter{R: pkgpart.NewRouter(cfg.Instances)}
-	case AlgIdeal:
-		return engine.NewShuffleRouter(cfg.Instances)
-	default:
-		return engine.NewAssignmentRouter(NewAssignment(cfg.Instances))
-	}
-}
-
 // NewAssignment returns the paper's default partition function: an
 // empty routing table over a consistent-hash ring of nd instances.
 func NewAssignment(nd int) *route.Assignment {
-	return route.NewAssignment(route.NewTable(), hashring.New(nd, 0))
+	return topology.NewAssignment(nd)
 }
 
 // Run executes n intervals.

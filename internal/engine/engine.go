@@ -42,7 +42,9 @@ func BatchSpout(s Spout) SpoutBatch {
 // that with Capacity = spout budget / ND for the target stage, so any
 // imbalance immediately shows up as backlog, throttling and latency.
 type Config struct {
-	// Window is the state window w in intervals.
+	// Window is the state window w in intervals, carried for reference
+	// only: stages take their actual window from NewStage's w
+	// parameter, and the engine never reads this field.
 	Window int
 	// Budget is the spout's tuple budget per interval at full rate.
 	Budget int64
@@ -116,6 +118,13 @@ type Rebalance struct {
 	Moved int64
 }
 
+// SnapshotHook is a controller callback invoked at each interval end
+// with one stage's harvested statistics. It may apply a plan (via
+// stage.ApplyPlan) and report what it did; a nil return means it took
+// no rebalance action. Hooks run on the driver goroutine while every
+// task is idle (post-harvest), so plan application is barrier-safe.
+type SnapshotHook = func(e *Engine, stageIdx int, snap *stats.Snapshot) *Rebalance
+
 // Engine runs a pipeline of stages over logical intervals.
 type Engine struct {
 	Spout Spout
@@ -135,13 +144,22 @@ type Engine struct {
 	// under study; downstream stages still execute and consume).
 	Target   int
 	Recorder *metrics.Recorder
-	// OnSnapshot is the controller hook, invoked per stage at each
-	// interval end with the harvested statistics; it may apply a plan
-	// (via stage.ApplyPlan) and report what it did.
-	OnSnapshot func(e *Engine, stageIdx int, snap *stats.Snapshot) *Rebalance
+	// OnSnapshot is the engine-wide controller hook, invoked for every
+	// stage at each interval end with the harvested statistics. Hooks
+	// registered per stage with AddSnapshotHook run after it; prefer
+	// those for topologies where more than one stage is
+	// controller-managed.
+	OnSnapshot SnapshotHook
 	// AdvanceWorkload, when set, is invoked after each interval so the
 	// generator can shift its distribution (fluctuation, bursts).
 	AdvanceWorkload func(interval int64)
+
+	// stageHooks is the per-stage snapshot fan-out: stageHooks[si] are
+	// invoked with stage si's snapshot only, letting every stage carry
+	// its own controller (the engine-wide OnSnapshot can only filter by
+	// Target). Maintained by AddSnapshotHook; nil until the first
+	// registration.
+	stageHooks [][]SnapshotHook
 
 	interval  int64
 	capacity  []int64 // per stage
@@ -195,6 +213,30 @@ func (e *Engine) Interval() int64 { return e.interval }
 // CapacityOf returns stage si's per-task service capacity in cost
 // units per interval.
 func (e *Engine) CapacityOf(si int) int64 { return e.capacity[si] }
+
+// SetStageCapacity overrides stage si's per-task service capacity,
+// replacing the Cfg.Capacity / Budget-derived default. Call before the
+// first RunInterval (the performance model reads it every interval).
+func (e *Engine) SetStageCapacity(si int, c int64) {
+	if c < 1 {
+		c = 1
+	}
+	e.capacity[si] = c
+}
+
+// AddSnapshotHook registers a per-stage controller hook: h is invoked
+// at each interval end with stage si's harvested snapshot, after the
+// engine-wide OnSnapshot. Each stage can carry any number of hooks
+// (they run in registration order), so multi-stage topologies can put
+// an independent controller on every stage. Call before the first
+// RunInterval or between intervals; the hook list is read on the
+// driver goroutine only.
+func (e *Engine) AddSnapshotHook(si int, h SnapshotHook) {
+	if e.stageHooks == nil {
+		e.stageHooks = make([][]SnapshotHook, len(e.Stages))
+	}
+	e.stageHooks[si] = append(e.stageHooks[si], h)
+}
 
 // LastEmitted returns the post-throttle tuple count of the most recent
 // interval; comparing it with Cfg.Budget reveals how much demand the
@@ -338,13 +380,25 @@ func (e *Engine) RunInterval() {
 		liveState += target.StoreOf(d).TotalSize()
 	}
 
-	// Controller hook (may pause/migrate/resume and swap assignments).
+	// Controller hooks (may pause/migrate/resume and swap assignments):
+	// the engine-wide OnSnapshot sees every stage, then each stage's
+	// registered hooks fan out with that stage's snapshot. The target
+	// stage's first rebalance is the one the interval metrics record.
 	var reb *Rebalance
-	if e.OnSnapshot != nil {
-		for si := range e.Stages {
-			r := e.OnSnapshot(e, si, e.snapshots[si])
-			if si == e.Target && r != nil {
+	if e.OnSnapshot != nil || e.stageHooks != nil {
+		record := func(si int, r *Rebalance) {
+			if si == e.Target && r != nil && reb == nil {
 				reb = r
+			}
+		}
+		for si := range e.Stages {
+			if e.OnSnapshot != nil {
+				record(si, e.OnSnapshot(e, si, e.snapshots[si]))
+			}
+			if e.stageHooks != nil {
+				for _, h := range e.stageHooks[si] {
+					record(si, h(e, si, e.snapshots[si]))
+				}
 			}
 		}
 	}

@@ -3,10 +3,9 @@ package experiments
 import (
 	"sync/atomic"
 
-	"repro/internal/balance"
-	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/topology"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -49,51 +48,47 @@ func runPipeline(alg core.Algorithm, budget int64) (emitted, thr, sunk float64) 
 			ctx.Emit(out)
 		})
 	}
-	s0 := engine.NewStage("op1-map", 3, mapOp, 1, engine.NewShuffleRouter(3))
-
-	// Operator 2: the keyed, skew-prone stage under study.
-	// Six instances over 300 keys: the hottest keys carry a full
-	// instance's share each, the regime of Fig. 7(b).
-	const op2ND = 6
-	var router engine.Router
-	switch alg {
-	case core.AlgIdeal:
-		router = engine.NewShuffleRouter(op2ND)
-	default:
-		router = engine.NewAssignmentRouter(core.NewAssignment(op2ND))
-	}
+	// Operator 2: the keyed, skew-prone stage under study. Six
+	// instances over 300 keys: the hottest keys carry a full instance's
+	// share each, the regime of Fig. 7(b). AlgStorm/AlgMixed route by
+	// assignment (only Mixed gets a planner); AlgIdeal shuffles.
 	countAndForward := func(int) engine.Operator {
 		return engine.OperatorFunc(func(ctx *engine.TaskCtx, t tuple.Tuple) {
 			ctx.Emit(tuple.New(t.Key, nil))
 		})
 	}
-	s1 := engine.NewStage("op2-keyed", op2ND, countAndForward, 1, router)
-
 	// Operator 3: sink counting arrivals.
 	var sinkN atomic.Int64
-	s2 := engine.NewStage("op3-sink", 3, func(int) engine.Operator {
-		return sinkCounter{&sinkN}
-	}, 1, engine.NewShuffleRouter(3))
+	sinkOp := func(int) engine.Operator { return sinkCounter{&sinkN} }
 
-	cfg := engine.DefaultConfig()
-	cfg.Budget = budget
-	cfg.Pipeline = usePipeline
-	e := engine.New(gen.Next, cfg, s0, s1, s2)
-	defer e.Stop()
-	e.Target = 1 // operator 2 drives the backpressure and the metrics
-	if alg == core.AlgMixed {
-		ctl := controller.New(balance.Mixed{}, defCfg())
-		ctl.MinKeys = 16
-		e.OnSnapshot = ctl.Hook()
+	// The exhibits run store-and-forward unless the harness selected
+	// streaming transfer (cmd/benchrunner -pipeline): exhibit outputs
+	// must stay independent of the host's core count, and this
+	// topology's shuffle stages would otherwise observe mid-interval
+	// interleaving on multicore.
+	mode := topology.StoreAndForward()
+	if usePipeline {
+		mode = topology.Pipelined()
 	}
-	if ar := s1.AssignmentRouter(); ar != nil {
-		e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	sys := topology.New(topology.Spout(gen.Next), topology.Budget(budget), mode).
+		Stage("op1-map", mapOp,
+			topology.Instances(3), topology.WithAlgorithm(topology.AlgIdeal)).
+		Stage("op2-keyed", countAndForward,
+			topology.Instances(6), topology.WithAlgorithm(alg),
+			topology.MinKeys(16),
+			topology.Target()). // operator 2 drives the backpressure and the metrics
+		Stage("op3-sink", sinkOp,
+			topology.Instances(3), topology.WithAlgorithm(topology.AlgIdeal)).
+		Build()
+	defer sys.Stop()
+	if ar := sys.StageNamed("op2-keyed").AssignmentRouter(); ar != nil {
+		sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 	}
 
 	const intervals = 16
-	e.Run(intervals)
+	sys.Run(intervals)
 	var em, th float64
-	for _, m := range e.Recorder.Series[4:] {
+	for _, m := range sys.Recorder().Series[4:] {
 		em += float64(m.Emitted)
 		th += m.Throughput
 	}

@@ -4,13 +4,13 @@ import (
 	"fmt"
 
 	"repro/internal/balance"
-	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/readj"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -47,43 +47,49 @@ type realSpec struct {
 	useTuned bool    // tune Readj σ per plan (paper's best-σ reporting)
 }
 
-// buildSystem assembles the stage/engine/controller per spec.
-func buildSystem(s realSpec) *core.System {
+// buildSystem assembles the stage/engine/controller per spec through
+// the topology builder. The transfer mode is explicit (usePipeline):
+// exhibit outputs must not depend on where the builder's multi-stage
+// default would land, and these systems are single-stage anyway.
+func buildSystem(s realSpec) *topology.System {
 	cost := int64(baseCost)
 	nd := s.nd
 	if nd == 0 {
 		nd = realND
 	}
-	cfg := core.Config{
-		Instances: nd,
-		Window:    s.window,
-		ThetaMax:  s.theta,
-		TableMax:  defNA,
-		Beta:      defBeta,
-		Algorithm: s.alg,
-		Budget:    realBudget,
-		Capacity:  int64(baseCost) * realBudget / int64(nd),
-		MinKeys:   32,
-		Pipeline:  usePipeline,
+	mode := topology.StoreAndForward()
+	if usePipeline {
+		mode = topology.Pipelined()
 	}
 	spout := func() tuple.Tuple {
 		t := s.next()
 		t.Cost = cost
 		return t
 	}
-	sys := core.NewSystem(cfg, spout, s.op)
+	sopts := []topology.StageOption{
+		topology.Instances(nd),
+		topology.Window(s.window),
+		topology.WithAlgorithm(s.alg),
+		topology.Theta(s.theta),
+		topology.TableMax(defNA),
+		topology.Beta(defBeta),
+		topology.Capacity(int64(baseCost) * realBudget / int64(nd)),
+		topology.MinKeys(32),
+	}
 	if s.alg == core.AlgReadj {
-		// Replace the fixed-σ planner with the tuned variant when asked.
+		// Run the fixed-σ planner, or the tuned variant when asked
+		// (the paper's best-σ reporting).
 		p := balance.Planner(readj.Planner{Sigma: s.sigma})
 		if s.useTuned {
 			p = plannerFunc{"ReadjTuned", func(sn *stats.Snapshot, c balance.Config) *balance.Plan {
 				return readj.Tune(sn, c, nil)
 			}}
 		}
-		sys.Controller = controller.New(p, cfg.BalanceConfig())
-		sys.Controller.MinKeys = cfg.MinKeys
-		sys.Engine.OnSnapshot = sys.Controller.Hook()
+		sopts = append(sopts, topology.WithPlanner(p))
 	}
+	sys := topology.New(topology.Spout(spout), topology.Budget(realBudget), mode).
+		Stage("operator", s.op, sopts...).
+		Build()
 	if s.advance != nil {
 		sys.Engine.AdvanceWorkload = func(int64) { s.advance() }
 	}
@@ -132,7 +138,7 @@ func Fig13() *Result {
 		// instances* of the system under test (§V), so the live
 		// assignment must drive them; key-oblivious schemes get a fixed
 		// modular view.
-		if ar := sys.Stage.AssignmentRouter(); ar != nil {
+		if ar := sys.Stage(0).AssignmentRouter(); ar != nil {
 			sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 		} else {
 			sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(modAsg{realND}) }

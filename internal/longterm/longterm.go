@@ -156,46 +156,73 @@ type Event struct {
 	Util     float64
 }
 
-// Hook adapts the autoscaler to engine.OnSnapshot.
-func (a *AutoScaler) Hook() func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
+// Hook adapts the autoscaler to the engine-wide OnSnapshot callback,
+// managing the engine's target stage. (ScaleOut applies through
+// engine.ScaleOutTarget, which grows the target stage; to watch a
+// different stage of a multi-stage topology, register StageHook on the
+// stage marked as target.)
+func (a *AutoScaler) Hook() engine.SnapshotHook {
 	return func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
 		if si != e.Target {
 			return nil
 		}
-		var reb *engine.Rebalance
-		if a.Inner != nil {
-			reb = a.Inner(e, si, snap)
+		return a.observe(e, si, snap)
+	}
+}
+
+// StageHook adapts the autoscaler to the engine's per-stage snapshot
+// fan-out (engine.AddSnapshotHook, topology.WithHook): the returned
+// hook acts on exactly stage si's snapshots. The stage must be the
+// engine's target (scale-out grows the target stage); the hook panics
+// otherwise rather than silently holding forever.
+func (a *AutoScaler) StageHook(si int) engine.SnapshotHook {
+	return func(e *engine.Engine, idx int, snap *stats.Snapshot) *engine.Rebalance {
+		if idx != si {
+			return nil
 		}
-		nd := e.Stages[e.Target].Instances()
-		cap64 := a.Capacity
-		if cap64 == 0 {
-			cap64 = e.CapacityOf(e.Target)
+		if si != e.Target {
+			panic(fmt.Sprintf("longterm: AutoScaler.StageHook(%d) on a non-target stage (target %d): ScaleOutTarget would grow the wrong stage", si, e.Target))
 		}
-		// The snapshot records *admitted* load; when backpressure
-		// throttled the spout, true demand is higher by the throttle
-		// ratio. Without the correction a saturated system reports
-		// comfortable utilization forever (demand hidden by its own
-		// symptom).
-		demand := snap.TotalCost()
-		if emitted := e.LastEmitted(); emitted > 0 && e.Cfg.Budget > emitted {
-			demand = demand * e.Cfg.Budget / emitted
-		}
-		act := a.Detector.Observe(demand, cap64*int64(nd))
-		if act == Hold {
-			return reb
-		}
-		a.History = append(a.History, Event{Interval: snap.Interval, Action: act, Util: a.Detector.Utilization()})
-		switch act {
-		case ScaleOut:
-			if e.Stages[e.Target].AssignmentRouter() != nil {
-				e.ScaleOutTarget()
-				a.ScaleOuts++
-			}
-		case ScaleIn:
-			a.ScaleIns++
-		}
+		return a.observe(e, si, snap)
+	}
+}
+
+// observe runs one interval's composition: short-term hook first, then
+// the long-term detector over the stage's total offered load.
+func (a *AutoScaler) observe(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
+	var reb *engine.Rebalance
+	if a.Inner != nil {
+		reb = a.Inner(e, si, snap)
+	}
+	nd := e.Stages[si].Instances()
+	cap64 := a.Capacity
+	if cap64 == 0 {
+		cap64 = e.CapacityOf(si)
+	}
+	// The snapshot records *admitted* load; when backpressure
+	// throttled the spout, true demand is higher by the throttle
+	// ratio. Without the correction a saturated system reports
+	// comfortable utilization forever (demand hidden by its own
+	// symptom).
+	demand := snap.TotalCost()
+	if emitted := e.LastEmitted(); emitted > 0 && e.Cfg.Budget > emitted {
+		demand = demand * e.Cfg.Budget / emitted
+	}
+	act := a.Detector.Observe(demand, cap64*int64(nd))
+	if act == Hold {
 		return reb
 	}
+	a.History = append(a.History, Event{Interval: snap.Interval, Action: act, Util: a.Detector.Utilization()})
+	switch act {
+	case ScaleOut:
+		if e.Stages[si].AssignmentRouter() != nil {
+			e.ScaleOutTarget()
+			a.ScaleOuts++
+		}
+	case ScaleIn:
+		a.ScaleIns++
+	}
+	return reb
 }
 
 // Summary renders the action history.

@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"math"
+
 	"repro/internal/engine"
 	"repro/internal/state"
 	"repro/internal/tuple"
@@ -104,21 +106,40 @@ func (f *Q5JoinFleet) TotalJoined() int64 {
 	return s
 }
 
+// RevenueUnit is the fixed-point resolution NationRevenue accumulates
+// at: one micro-currency-unit. Integer accumulation is exact and
+// therefore order-insensitive — float addition is not associative, and
+// under pipelined transfer (or Feeders > 1) the join tasks' revenue
+// contributions reach an aggregation instance in nondeterministic
+// order. Each contribution rounds to the grid once, at arrival, so the
+// only tolerance against an infinitely precise sum is ±0.5 µ-units per
+// joined row; totals are bit-identical across transfer modes, feeder
+// counts and migration histories (pinned by test).
+const RevenueUnit = 1e-6
+
 // NationRevenue is the stage-1 operator: GROUP BY n_name SUM(revenue),
 // 25 keys, effectively unskewed.
 type NationRevenue struct {
-	Revenue map[tuple.Key]float64
+	// Revenue holds each nation's accumulated revenue in integer
+	// multiples of RevenueUnit.
+	Revenue map[tuple.Key]int64
 }
 
 // NewNationRevenue builds one instance's operator.
 func NewNationRevenue() *NationRevenue {
-	return &NationRevenue{Revenue: make(map[tuple.Key]float64)}
+	return &NationRevenue{Revenue: make(map[tuple.Key]int64)}
+}
+
+// revenueUnits converts one emitted revenue contribution to the
+// fixed-point grid.
+func revenueUnits(rev float64) int64 {
+	return int64(math.Round(rev / RevenueUnit))
 }
 
 // Process implements engine.Operator.
 func (n *NationRevenue) Process(ctx *engine.TaskCtx, t tuple.Tuple) {
 	if rev, ok := t.Value.(float64); ok {
-		n.Revenue[t.Key] += rev
+		n.Revenue[t.Key] += revenueUnits(rev)
 	}
 }
 
@@ -128,7 +149,7 @@ func (n *NationRevenue) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
 	rev := n.Revenue
 	for i := range ts {
 		if r, ok := ts[i].Value.(float64); ok {
-			rev[ts[i].Key] += r
+			rev[ts[i].Key] += revenueUnits(r)
 		}
 	}
 }
@@ -150,11 +171,13 @@ func (f *NationRevenueFleet) Factory(id int) engine.Operator {
 	return op
 }
 
-// TotalRevenue sums revenue for a nation across instances.
+// TotalRevenue sums revenue for a nation across instances. The
+// per-instance accumulators are integers, so the float conversion
+// happens once on the exact total.
 func (f *NationRevenueFleet) TotalRevenue(nation int) float64 {
-	var s float64
+	var s int64
 	for _, op := range f.Instances {
 		s += op.Revenue[tuple.Key(nation)]
 	}
-	return s
+	return float64(s) * RevenueUnit
 }
