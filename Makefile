@@ -4,7 +4,7 @@ GO ?= go
 # Spout parallelism for bench-dataplane (the scaling-curve knob).
 FEEDERS ?= 1
 
-.PHONY: verify build test vet bench bench-dataplane bench-multistage exhibits smoke-examples
+.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control exhibits smoke-examples
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -35,6 +35,13 @@ bench-dataplane:
 ## benchmark (store-and-forward vs streaming pipeline transfer).
 bench-multistage:
 	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage
+
+## bench-control: per-interval control-loop overhead micro-bench
+## (loopback vs Codec-over-pipe wire transport, several snapshot
+## sizes, plus whole-interval direct-vs-loop-vs-wire). One hold round
+## is the steady cost a controller-managed stage adds per interval.
+bench-control:
+	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval' -benchtime 1s ./internal/control/
 
 ## exhibits: regenerate every paper exhibit. PIPELINE=1 runs them with
 ## streaming inter-stage transfer (key-partitioned exhibit outputs do

@@ -21,6 +21,10 @@
 //	                           # inter-stage transfer (A/B against the
 //	                           # default store-and-forward run)
 //
+// The per-interval control-loop overhead micro-bench lives with its
+// subject (internal/control BenchmarkControlRound /
+// BenchmarkEngineInterval); `make bench-control` drives it.
+//
 // Output rows correspond to the x-axis points of the paper's plots;
 // columns to its series; README.md documents how each exhibit maps to
 // the published figures. The -dataplane report is the trajectory file

@@ -41,6 +41,25 @@
 // topology.StoreAndForward() keeps the legacy barrier transfer, which
 // remains the equivalence-test oracle.
 //
+// # Unified elastic control plane
+//
+// Per-stage control runs through one command path (internal/control):
+// controllers and autoscalers are control.Policy implementations that
+// consume interval snapshots and emit typed commands — Rebalance,
+// ScaleOut, ScaleIn — applied by a single per-stage Executor whose
+// every step crosses the transport as a protocol message (LoadReport,
+// PlanAnnounce, Resize, StateTransfer, Ack, Resume). The default
+// transport is an in-process loopback; topology.WireControl() runs the
+// identical rounds through the gob Codec over a pipe, pinned
+// equivalent, so a multi-process deployment only swaps the connection.
+// ScaleIn is a real actuator (engine.Stage.ScaleIn — drain the
+// retiring task, shrink the hash ring, migrate its keys' windowed
+// state and statistics to the survivors live), the mirror of ScaleOut;
+// engine.ResizeStage(si, ±1) resizes any stage, not just the target.
+// Attach extra policies per stage with topology.WithPolicy (the §VII
+// composition: a Mixed rebalancer for short-term fluctuations plus
+// longterm.AutoScaler answering sustained shifts elastically).
+//
 // # Parallel runtime
 //
 // Both ends of the interval loop are parallel. Emission fans out to

@@ -1,7 +1,11 @@
 // Autoscale: the paper's §VII future work in action — short-term
-// fluctuations handled by the Mixed rebalancer while a long-term load
-// shift (input rate +60% at interval 12) is detected and answered with
-// a scale-out, without confusing one for the other.
+// fluctuations handled by the Mixed rebalancer while long-term load
+// shifts are answered elastically, without confusing one for the
+// other: the input rate rises 60% at interval 12 (the detector answers
+// with a scale-out) and collapses to 40% at interval 30 (a live
+// scale-in drains the retiring instance and migrates its keys back to
+// the survivors). Both policies run on the stage's unified control
+// loop, speaking rebalance and resize commands over protocol messages.
 //
 //	go run ./examples/autoscale
 package main
@@ -19,8 +23,8 @@ func main() {
 	gen := workload.NewZipfStream(5000, 0.85, 1.0, 7000, 21)
 
 	// The builder wires the short-term path (Mixed controller on the
-	// stage); the long-term detector layers on top as a raw per-stage
-	// snapshot hook, running after the rebalancer each interval.
+	// stage); the long-term autoscaler joins the same control loop as a
+	// second policy, deciding after the rebalancer each interval.
 	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector()}
 	sys := topology.New(
 		topology.Spout(gen.Next),
@@ -30,7 +34,7 @@ func main() {
 		topology.Capacity(1000),
 		topology.WithAlgorithm(topology.AlgMixed),
 		topology.Theta(0.08), topology.MinKeys(32),
-		topology.WithStageHook(scaler),
+		topology.WithPolicy(scaler),
 	).Build()
 	defer sys.Stop()
 
@@ -38,12 +42,20 @@ func main() {
 	ar := st.AssignmentRouter()
 	sys.Engine.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
 
+	setRate := func(r int64) {
+		sys.Engine.Cfg.Budget = r
+		gen.PerInterval = r
+	}
+
 	fmt.Println("interval  instances  emitted  throughput  util(EWMA)")
-	for i := 0; i < topology.Intervals(30); i++ {
-		if i == 12 {
-			sys.Engine.Cfg.Budget = 11200 // the long-term shift: +60% input rate
-			gen.PerInterval = 11200
+	for i := 0; i < topology.Intervals(48); i++ {
+		switch i {
+		case 12:
+			setRate(11200) // long-term shift: input rate +60%
 			fmt.Println("--- long-term shift: input rate +60% ---")
+		case 30:
+			setRate(2800) // sustained lull: input rate −75%
+			fmt.Println("--- long-term lull: input rate -75% ---")
 		}
 		sys.Run(1)
 		m := sys.Recorder().Series[i]

@@ -45,7 +45,7 @@ func main() {
 	sys.Run(pre)
 	report(0, pre)
 
-	moved := sys.Engine.ScaleOutTarget()
+	moved := sys.Engine.ResizeStage(0, +1)
 	fmt.Printf("--- scale-out: instance 9 added; consistent hashing moved %d state units ---\n", moved)
 
 	sys.Run(total - pre)

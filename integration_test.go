@@ -106,9 +106,10 @@ func TestAllPlannersEndToEndKeepCorrectCounts(t *testing.T) {
 }
 
 // TestShortAndLongTermComposed drives the full §VII composition: Mixed
-// for fluctuations, the detector for a genuine shift, through the
+// for fluctuations, the detector for genuine shifts, through the
 // public API only — the topology builder wiring the controller, the
-// autoscaler layering on as a raw per-stage snapshot hook.
+// autoscaler joining the same control loop via WithPolicy. The load
+// doubles (scale-out), then collapses (live scale-in back down).
 func TestShortAndLongTermComposed(t *testing.T) {
 	gen := workload.NewZipfStream(2000, 0.85, 1.0, 6000, 19)
 	scaler := &longterm.AutoScaler{Detector: longterm.NewDetector()}
@@ -120,7 +121,7 @@ func TestShortAndLongTermComposed(t *testing.T) {
 		topology.Capacity(1200),
 		topology.WithAlgorithm(topology.AlgMixed),
 		topology.Theta(0.08), topology.MinKeys(16),
-		topology.WithStageHook(scaler),
+		topology.WithPolicy(scaler),
 	).Build()
 	defer sys.Stop()
 
@@ -135,10 +136,30 @@ func TestShortAndLongTermComposed(t *testing.T) {
 	gen.PerInterval = 12000
 	sys.Run(25)
 
-	if st.Instances() <= preScale {
-		t.Fatalf("no scale-out under a 2x sustained shift (still %d instances)", st.Instances())
+	grown := st.Instances()
+	if grown <= preScale {
+		t.Fatalf("no scale-out under a 2x sustained shift (still %d instances)", grown)
 	}
 	if sys.Controller(0).Rebalances() == 0 {
 		t.Fatal("short-term controller idle the whole run")
+	}
+
+	// The shift reverses: sustained idleness must retire instances
+	// live, with every key's state landing on a survivor.
+	sys.Engine.Cfg.Budget = 1500
+	gen.PerInterval = 1500
+	sys.Run(30)
+	shrunk := st.Instances()
+	if shrunk >= grown {
+		t.Fatalf("no scale-in under a sustained lull (still %d instances)", shrunk)
+	}
+	if scaler.ScaleIns == 0 {
+		t.Fatal("autoscaler history records no applied scale-in")
+	}
+	for _, k := range st.LiveKeys() {
+		d, ok := sys.Dest(0, k)
+		if !ok || d >= shrunk {
+			t.Fatalf("key %d routed to retired instance %d of %d", k, d, shrunk)
+		}
 	}
 }

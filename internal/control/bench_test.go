@@ -1,0 +1,97 @@
+package control_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// holdPolicy never commands: rounds measure pure loop overhead
+// (report marshaling, transport crossing, merge, decide, resume).
+type holdPolicy struct{}
+
+func (holdPolicy) Decide(control.Env, *stats.Snapshot) []control.Command { return nil }
+
+func benchSnapshot(keys, nd int) *stats.Snapshot {
+	snap := &stats.Snapshot{Interval: 1, ND: nd}
+	for i := 0; i < keys; i++ {
+		snap.Keys = append(snap.Keys, stats.KeyStat{
+			Key: tuple.Key(i), Cost: int64(keys - i), Freq: 1, Mem: 2,
+			Dest: i % nd, Hash: i % nd,
+		})
+	}
+	stats.SortByCostDesc(snap.Keys)
+	return snap
+}
+
+// BenchmarkEngineInterval quantifies what the control plane adds to a
+// whole engine interval (10k tuples through a Mixed-managed stage):
+// "direct" drives the legacy in-process hook, "loop" and "wire" the
+// unified command path over each transport. The direct-vs-loop delta
+// is the honest price of speaking the protocol every interval.
+func BenchmarkEngineInterval(b *testing.B) {
+	run := func(b *testing.B, wiring string) {
+		gen := workload.NewZipfStream(10000, 0.85, 0, 10000, 17)
+		st := engine.NewStage("op", 10, func(int) engine.Operator { return engine.StatefulCount }, 1,
+			engine.NewAssignmentRouter(topology.NewAssignment(10)))
+		cfg := engine.DefaultConfig()
+		e := engine.NewBatch(gen.NextBatch, cfg, st)
+		defer e.Stop()
+		ctl := mkController()
+		switch wiring {
+		case "direct":
+			e.AddSnapshotHook(0, ctl.StageHook(0))
+		case "loop":
+			loop := control.NewLoop(e, 0, []control.Policy{ctl})
+			defer loop.Close()
+			e.AddSnapshotHook(0, loop.Hook())
+		case "wire":
+			loop := control.NewLoop(e, 0, []control.Policy{ctl}, control.Wire())
+			defer loop.Close()
+			e.AddSnapshotHook(0, loop.Hook())
+		}
+		b.ResetTimer()
+		e.Run(b.N)
+	}
+	for _, wiring := range []string{"direct", "loop", "wire"} {
+		b.Run(wiring, func(b *testing.B) { run(b, wiring) })
+	}
+}
+
+// BenchmarkControlRound measures one hold round of the per-stage
+// control loop — the steady per-interval cost the unified control
+// plane adds — across transports and snapshot sizes. Compare against
+// an interval's data-plane work (tens of thousands of tuples) to see
+// the loop is off the critical path.
+func BenchmarkControlRound(b *testing.B) {
+	for _, wire := range []bool{false, true} {
+		for _, keys := range []int{0, 512, 4096} {
+			name := fmt.Sprintf("loopback/keys=%d", keys)
+			var opts []control.LoopOption
+			if wire {
+				name = fmt.Sprintf("wire/keys=%d", keys)
+				opts = append(opts, control.Wire())
+			}
+			b.Run(name, func(b *testing.B) {
+				st := engine.NewStage("bench", 10, func(int) engine.Operator { return engine.Discard }, 1,
+					engine.NewAssignmentRouter(topology.NewAssignment(10)))
+				e := engine.New(func() tuple.Tuple { return tuple.New(0, nil) }, engine.DefaultConfig(), st)
+				defer e.Stop()
+				loop := control.NewLoop(e, 0, []control.Policy{holdPolicy{}}, opts...)
+				defer loop.Close()
+				hook := loop.Hook()
+				snap := benchSnapshot(keys, 10)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					hook(e, 0, snap)
+				}
+			})
+		}
+	}
+}

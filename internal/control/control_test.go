@@ -1,0 +1,152 @@
+package control_test
+
+import (
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/control"
+	"repro/internal/controller"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// mkEngine hand-wires a single Mixed-rebalanced stage over a seeded
+// Zipf stream, the oracle configuration every equivalence test reuses.
+func mkEngine(seed int64) (*engine.Engine, *engine.Stage) {
+	gen := workload.NewZipfStream(4000, 1.0, 1.0, 8000, seed)
+	st := engine.NewStage("op", 8, func(int) engine.Operator { return engine.StatefulCount }, 1,
+		engine.NewAssignmentRouter(topology.NewAssignment(8)))
+	cfg := engine.DefaultConfig()
+	cfg.Budget = 8000
+	e := engine.New(gen.Next, cfg, st)
+	ar := st.AssignmentRouter()
+	e.AdvanceWorkload = func(int64) { gen.Advance(ar.Assignment()) }
+	return e, st
+}
+
+func mkController() *controller.Controller {
+	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5})
+	ctl.MinKeys = 32
+	return ctl
+}
+
+// stripWallClock zeroes the only nondeterministic series field
+// (plan-generation wall time) so two independent runs compare exactly.
+func stripWallClock(series []metrics.Interval) []metrics.Interval {
+	out := append([]metrics.Interval(nil), series...)
+	for i := range out {
+		out[i].PlanMs = 0
+	}
+	return out
+}
+
+func sameSeries(t *testing.T, label string, a, b []metrics.Interval) {
+	t.Helper()
+	a, b = stripWallClock(a), stripWallClock(b)
+	if len(a) != len(b) {
+		t.Fatalf("%s: series lengths %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: interval %d differs:\n  %+v\n  %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func sameTables(t *testing.T, label string, a, b *engine.Stage) {
+	t.Helper()
+	ta := a.AssignmentRouter().Assignment().Table()
+	tb := b.AssignmentRouter().Assignment().Table()
+	if ta.Len() != tb.Len() {
+		t.Fatalf("%s: table sizes %d vs %d", label, ta.Len(), tb.Len())
+	}
+	for _, k := range ta.Keys() {
+		da, _ := ta.Lookup(k)
+		db, ok := tb.Lookup(k)
+		if !ok || da != db {
+			t.Fatalf("%s: key %d routed %d vs %d (present %v)", label, k, da, db, ok)
+		}
+	}
+}
+
+func sameSnapshots(t *testing.T, label string, a, b []*stats.Snapshot) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: snapshot counts %d vs %d", label, len(a), len(b))
+	}
+	for si := range a {
+		if a[si].Interval != b[si].Interval || a[si].ND != b[si].ND || len(a[si].Keys) != len(b[si].Keys) {
+			t.Fatalf("%s: snapshot %d headers differ: %+v vs %+v", label, si, a[si], b[si])
+		}
+		for i := range a[si].Keys {
+			if a[si].Keys[i] != b[si].Keys[i] {
+				t.Fatalf("%s: snapshot %d key %d: %+v vs %+v", label, si, i, a[si].Keys[i], b[si].Keys[i])
+			}
+		}
+	}
+}
+
+// TestLoopMatchesDirectController pins the refactor's core equivalence:
+// the protocol-marshaled control loop reproduces the direct
+// Maybe-on-the-stage path bit-identically — interval series, final
+// snapshots, routing tables and applied-plan history.
+func TestLoopMatchesDirectController(t *testing.T) {
+	for _, transport := range []string{"loopback", "wire"} {
+		t.Run(transport, func(t *testing.T) {
+			eDirect, stDirect := mkEngine(101)
+			defer eDirect.Stop()
+			ctlDirect := mkController()
+			eDirect.AddSnapshotHook(0, ctlDirect.StageHook(0))
+
+			eLoop, stLoop := mkEngine(101)
+			defer eLoop.Stop()
+			ctlLoop := mkController()
+			var opts []control.LoopOption
+			if transport == "wire" {
+				opts = append(opts, control.Wire())
+			}
+			loop := control.NewLoop(eLoop, 0, []control.Policy{ctlLoop}, opts...)
+			defer loop.Close()
+			eLoop.AddSnapshotHook(0, loop.Hook())
+
+			eDirect.Run(20)
+			eLoop.Run(20)
+
+			sameSeries(t, transport, eDirect.Recorder.Series, eLoop.Recorder.Series)
+			sameSnapshots(t, transport, eDirect.LastSnapshots(), eLoop.LastSnapshots())
+			sameTables(t, transport, stDirect, stLoop)
+			if ctlDirect.Rebalances() != ctlLoop.Rebalances() {
+				t.Fatalf("rebalances %d vs %d", ctlDirect.Rebalances(), ctlLoop.Rebalances())
+			}
+			if ctlDirect.Rebalances() == 0 {
+				t.Fatal("oracle run never rebalanced; the pin is vacuous")
+			}
+			if ctlDirect.SkippedBalanced != ctlLoop.SkippedBalanced ||
+				ctlDirect.DeferredApplies != ctlLoop.DeferredApplies {
+				t.Fatalf("decision counters differ: skipped %d/%d deferred %d/%d",
+					ctlDirect.SkippedBalanced, ctlLoop.SkippedBalanced,
+					ctlDirect.DeferredApplies, ctlLoop.DeferredApplies)
+			}
+		})
+	}
+}
+
+// TestSnapshotWireRoundTrip pins the report marshaling itself: a
+// harvested snapshot split into per-task reports and reassembled is
+// byte-identical, including Dest/Hash resolution and ordering.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	e, st := mkEngine(7)
+	defer e.Stop()
+	e.Run(3)
+	snap := e.LastSnapshots()[0]
+	if len(snap.Keys) == 0 {
+		t.Fatal("empty oracle snapshot")
+	}
+	reports := protocol.ReportsFromSnapshot(snap, st.Instances(), 1000, 8000, 8000, true, true)
+	back := protocol.SnapshotFromReports(reports)
+	sameSnapshots(t, "roundtrip", []*stats.Snapshot{snap}, []*stats.Snapshot{back})
+}

@@ -1,0 +1,314 @@
+package control
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/hashring"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Executor is the stage-side half of the control loop: the single
+// per-stage actuator that reports the interval's statistics and
+// applies whatever commands come back, marshaling every step through
+// protocol messages. It is the only component that touches the engine;
+// the policies on the other end of the Conn see wire data exclusively.
+type Executor struct {
+	e    *engine.Engine
+	si   int
+	conn Conn
+}
+
+// NewExecutor binds an executor to stage si of e, speaking over conn.
+// Most callers want NewLoop, which wires both halves; a standalone
+// executor serves a remote controller (anything answering on conn with
+// the protocol's command messages).
+func NewExecutor(e *engine.Engine, si int, conn Conn) *Executor {
+	return &Executor{e: e, si: si, conn: conn}
+}
+
+// RunRound drives one interval's control round: split the harvested
+// snapshot into per-task LoadReports (step 1), then serve the
+// controller's command stream — PlanAnnounce applies through the
+// stage's pause/migrate/resume path, Resize through the engine's
+// elastic actuator, each migration reported as a StateTransfer and
+// each command Acked — until Resume closes the round. The return value
+// summarizes what was applied, in the shape the engine records
+// (nil when the round held, or the transport is gone).
+func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
+	st := x.e.Stages[x.si]
+	reports := protocol.ReportsFromSnapshot(snap, st.Instances(),
+		x.e.CapacityOf(x.si), x.e.LastEmitted(), x.e.Cfg.Budget,
+		st.AssignmentRouter() != nil, x.resizable())
+	for _, r := range reports {
+		if x.conn.Send(&protocol.Message{Report: r}) != nil {
+			return nil
+		}
+	}
+	var reb *engine.Rebalance
+	for {
+		m, err := x.conn.Recv()
+		if err != nil {
+			return reb
+		}
+		switch {
+		case m.Plan != nil:
+			// Inapplicable commands are rejected as holds, not
+			// panics: the executor may serve a remote controller, and
+			// a malformed command must not crash the driver. The Ack
+			// still flows so the round stays in step.
+			if st.AssignmentRouter() == nil || !planFits(m.Plan, st.Instances()) {
+				x.ack(m.Plan.Interval)
+				break
+			}
+			plan := protocol.PlanFromAnnounce(m.Plan)
+			moved := st.ApplyPlanObserved(plan, x.transferObserver())
+			if reb == nil {
+				reb = &engine.Rebalance{}
+			}
+			if reb.Plan == nil {
+				reb.Plan, reb.Moved = plan, moved
+			}
+			x.ack(m.Plan.Interval)
+		case m.ResizeCmd != nil:
+			delta := m.ResizeCmd.Delta
+			if !x.canResize(delta) {
+				x.ack(m.ResizeCmd.Interval)
+				break
+			}
+			x.e.ResizeStageObserved(x.si, delta, x.transferObserver())
+			if reb == nil {
+				reb = &engine.Rebalance{}
+			}
+			if delta > 0 {
+				reb.ScaledOut++
+			} else {
+				reb.ScaledIn++
+			}
+			x.ack(m.ResizeCmd.Interval)
+		case m.Resume != nil:
+			return reb
+		default:
+			// Protocol violation: bail out of the round rather than
+			// wedge the driver goroutine.
+			return reb
+		}
+	}
+}
+
+// planFits reports whether every destination a plan announce
+// references exists on the stage right now. A plan computed before a
+// same-round scale-in — or a malformed one from a remote controller —
+// can target a retired instance; applying it would index past the
+// task slice. The in-tree Controller drops such plans itself
+// (DroppedStale); this guard holds the line at the executor boundary
+// for everything else.
+func planFits(a *protocol.PlanAnnounce, instances int) bool {
+	for _, e := range a.Table {
+		if e.Dest < 0 || e.Dest >= instances {
+			return false
+		}
+	}
+	for _, mv := range a.Moved {
+		if mv.Dest < 0 || mv.Dest >= instances {
+			return false
+		}
+	}
+	return true
+}
+
+// resizable reports whether the stage's instance set can change at
+// all: assignment routing over a consistent-hash ring. Reported to
+// policies in the round context, so they never emit resizes the
+// executor would reject.
+func (x *Executor) resizable() bool {
+	ar := x.e.Stages[x.si].AssignmentRouter()
+	if ar == nil {
+		return false
+	}
+	_, ring := ar.Assignment().Hasher().(*hashring.Ring)
+	return ring
+}
+
+// canResize reports whether a Resize command is applicable to the
+// stage right now: delta must be ±1, the stage must be resizable, and
+// a scale-in must leave at least one instance.
+func (x *Executor) canResize(delta int) bool {
+	if delta != 1 && delta != -1 {
+		return false
+	}
+	if !x.resizable() {
+		return false
+	}
+	return delta == 1 || x.e.Stages[x.si].Instances() > 1
+}
+
+// transferObserver emits one StateTransfer per key migration (step 5
+// as a wire event). The state itself moved by reference inside the
+// engine; the message carries the accounting record. Send failures are
+// ignored — the migration already happened, and the round's Ack (or
+// its absence) is what the controller acts on.
+func (x *Executor) transferObserver() engine.MigrationObserver {
+	return func(k tuple.Key, from, to int, size int64) {
+		_ = x.conn.Send(&protocol.Message{State: &protocol.StateTransfer{
+			Key: k, From: from, To: to, Size: size,
+		}})
+	}
+}
+
+// ack confirms the current command finished (step 6). TaskID carries
+// the stage index: the executor acks on behalf of the whole stage.
+func (x *Executor) ack(interval int64) {
+	_ = x.conn.Send(&protocol.Message{Ack: &protocol.Ack{TaskID: x.si, Interval: interval}})
+}
+
+// Loop wires a complete per-stage control loop in one process: the
+// stage-side Executor, the controller-side policy server on its own
+// goroutine, and the Conn pair between them (loopback by default, the
+// gob wire transport with Wire). Register Hook with the engine's
+// per-stage snapshot fan-out; Close tears the server down.
+type Loop struct {
+	x        *Executor
+	ctrl     Conn
+	policies []Policy
+	wg       sync.WaitGroup
+	once     sync.Once
+}
+
+// LoopOption configures NewLoop.
+type LoopOption func(*loopCfg)
+
+type loopCfg struct{ wire bool }
+
+// Wire selects the gob-Codec-over-pipe transport instead of the
+// in-process loopback: every control message is fully serialized and
+// parsed, exactly as across a process boundary. Pinned equivalent to
+// the loopback by test; used to prove multi-process readiness and to
+// measure true wire cost.
+func Wire() LoopOption { return func(c *loopCfg) { c.wire = true } }
+
+// NewLoop builds the control loop for stage si of e, running the given
+// policies in order on the controller side, and starts the policy
+// server. The caller owns the returned loop and must Close it.
+func NewLoop(e *engine.Engine, si int, policies []Policy, opts ...LoopOption) *Loop {
+	var cfg loopCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var agent, ctrl Conn
+	if cfg.wire {
+		agent, ctrl = NewWirePair()
+	} else {
+		agent, ctrl = NewLoopbackPair()
+	}
+	l := &Loop{x: NewExecutor(e, si, agent), ctrl: ctrl, policies: policies}
+	l.wg.Add(1)
+	go l.serve()
+	return l
+}
+
+// Hook adapts the loop to the engine's snapshot fan-out: register it
+// with engine.AddSnapshotHook(si, loop.Hook()). It runs one control
+// round per interval on the driver goroutine (tasks are idle
+// post-harvest, so plan application and resize are barrier-safe).
+func (l *Loop) Hook() engine.SnapshotHook {
+	return func(e *engine.Engine, idx int, snap *stats.Snapshot) *engine.Rebalance {
+		if idx != l.x.si {
+			return nil
+		}
+		return l.x.RunRound(snap)
+	}
+}
+
+// Close shuts the transport down and waits for the policy server to
+// exit, so policy state is safe to read afterwards. Safe to call more
+// than once.
+func (l *Loop) Close() {
+	l.once.Do(func() {
+		l.x.conn.Close()
+		l.ctrl.Close()
+		l.wg.Wait()
+	})
+}
+
+// serve is the controller side: for every round it gathers the
+// per-task reports, reassembles the snapshot and stage context, asks
+// each policy to decide, streams the resulting commands to the
+// executor (draining the per-command StateTransfer/Ack replies), and
+// closes the round with Resume. It exits when the transport closes.
+func (l *Loop) serve() {
+	defer l.wg.Done()
+	for {
+		env, snap, ok := l.recvRound()
+		if !ok {
+			return
+		}
+		var cmds []Command
+		for _, p := range l.policies {
+			cmds = append(cmds, p.Decide(env, snap)...)
+		}
+		for _, c := range cmds {
+			var msg *protocol.Message
+			switch c := c.(type) {
+			case Rebalance:
+				msg = &protocol.Message{Plan: protocol.AnnounceFromPlan(env.Interval, c.Plan)}
+			case ScaleOut:
+				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: 1}}
+			case ScaleIn:
+				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: -1}}
+			default:
+				continue
+			}
+			if l.ctrl.Send(msg) != nil {
+				return
+			}
+			// Drain the command's transfer stream up to its Ack.
+			for {
+				m, err := l.ctrl.Recv()
+				if err != nil {
+					return
+				}
+				if m.Ack != nil {
+					break
+				}
+				if m.State == nil {
+					return // protocol violation
+				}
+			}
+		}
+		if l.ctrl.Send(&protocol.Message{Resume: &protocol.Resume{Interval: env.Interval}}) != nil {
+			return
+		}
+	}
+}
+
+// recvRound collects one round's load reports and reconstructs the
+// snapshot and stage context.
+func (l *Loop) recvRound() (Env, *stats.Snapshot, bool) {
+	first, err := l.ctrl.Recv()
+	if err != nil || first.Report == nil {
+		return Env{}, nil, false
+	}
+	r := first.Report
+	reports := make([]*protocol.LoadReport, 0, r.Tasks)
+	reports = append(reports, r)
+	for len(reports) < r.Tasks {
+		m, err := l.ctrl.Recv()
+		if err != nil || m.Report == nil {
+			return Env{}, nil, false
+		}
+		reports = append(reports, m.Report)
+	}
+	env := Env{
+		Interval:  r.Interval,
+		Tasks:     r.Tasks,
+		Capacity:  r.Capacity,
+		Emitted:   r.Emitted,
+		Budget:    r.Budget,
+		Routable:  r.Routable,
+		Resizable: r.Resizable,
+	}
+	return env, protocol.SnapshotFromReports(reports), true
+}

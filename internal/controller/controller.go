@@ -1,17 +1,22 @@
-// Package controller implements the rebalance control component of
-// Fig. 5: at every interval boundary it receives the operator's merged
-// statistics (step 1), judges whether the imbalance warrants a new
-// assignment function (step 2), runs the configured planner, and drives
-// the pause → migrate → ack → resume sequence against the stage
-// (steps 3–7, realized by engine.Stage.ApplyPlan).
+// Package controller implements the rebalance policy of Fig. 5: at
+// every interval boundary it receives the operator's merged statistics
+// (step 1), judges whether the imbalance warrants a new assignment
+// function (step 2), and runs the configured planner. As a
+// control.Policy it emits the resulting plan as a Rebalance command,
+// which the stage's control.Executor drives through the pause →
+// migrate → ack → resume sequence (steps 3–7) over protocol messages;
+// the legacy Maybe entry point applies the same decision directly
+// against the stage for tests and hand-wired engines.
 package controller
 
 import (
 	"time"
 
 	"repro/internal/balance"
+	"repro/internal/control"
 	"repro/internal/engine"
 	"repro/internal/stats"
+	"repro/internal/tuple"
 )
 
 // Controller owns the rebalance policy for one operator.
@@ -41,6 +46,10 @@ type Controller struct {
 	SkippedBalanced int
 	// DeferredApplies counts plans that arrived late.
 	DeferredApplies int
+	// DroppedStale counts late plans discarded because the instance
+	// set shrank while they were in generation (their destinations no
+	// longer all exist).
+	DroppedStale int
 
 	pending      *balance.Plan
 	pendingDelay int
@@ -59,10 +68,12 @@ func (c *Controller) trigger() float64 {
 	return c.Cfg.ThetaMax
 }
 
-// Maybe evaluates one snapshot and rebalances the stage if needed,
-// returning what it did (nil when balanced or not applicable).
-func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Rebalance {
-	if stage.AssignmentRouter() == nil || len(snap.Keys) == 0 {
+// decide is the policy core shared by Decide and Maybe: judge the
+// snapshot (step 2) and return the plan to apply this interval, or nil
+// to hold. It advances the pending-plan staleness state, so it must be
+// called exactly once per interval.
+func (c *Controller) decide(routable bool, snap *stats.Snapshot) *balance.Plan {
+	if !routable || len(snap.Keys) == 0 {
 		return nil
 	}
 	// A plan still "in generation" from a previous interval lands now
@@ -74,8 +85,17 @@ func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Re
 		}
 		plan := c.pending
 		c.pending = nil
+		// A plan generated before a scale-in may target instances that
+		// no longer exist; applying it would route keys (and migrate
+		// state) to retired tasks. Drop it — the next interval's
+		// snapshot replans against the current instance set. (Scale-out
+		// is harmless here: destinations only ever grow valid.)
+		if maxPlanDest(plan) >= snap.ND {
+			c.DroppedStale++
+			return nil
+		}
 		c.DeferredApplies++
-		return c.apply(stage, plan)
+		return plan
 	}
 	if c.MinKeys > 0 && len(snap.Keys) < c.MinKeys {
 		return nil
@@ -94,6 +114,52 @@ func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Re
 		}
 		return nil
 	}
+	return plan
+}
+
+// maxPlanDest returns the largest destination index a plan references
+// (routing-table entries and migration targets), or -1 for an empty
+// plan.
+func maxPlanDest(plan *balance.Plan) int {
+	max := -1
+	if plan.Table != nil {
+		plan.Table.Each(func(_ tuple.Key, d int) {
+			if d > max {
+				max = d
+			}
+		})
+	}
+	for _, d := range plan.MoveDest {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Decide implements control.Policy: judge one snapshot and emit the
+// rebalance command the stage's executor should apply. The plan is
+// recorded in Applied at decision time — the executor's application is
+// unconditional, so decision and application histories coincide.
+func (c *Controller) Decide(env control.Env, snap *stats.Snapshot) []control.Command {
+	plan := c.decide(env.Routable, snap)
+	if plan == nil {
+		return nil
+	}
+	c.Applied = append(c.Applied, plan)
+	return []control.Command{control.Rebalance{Plan: plan}}
+}
+
+// Maybe evaluates one snapshot and rebalances the stage directly if
+// needed, returning what it did (nil when balanced or not applicable).
+// It is the in-process shortcut around the protocol path — same
+// decision core, same application primitive — used by unit tests and
+// hand-wired engines.
+func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Rebalance {
+	plan := c.decide(stage.AssignmentRouter() != nil, snap)
+	if plan == nil {
+		return nil
+	}
 	return c.apply(stage, plan)
 }
 
@@ -107,9 +173,9 @@ func (c *Controller) apply(stage *engine.Stage, plan *balance.Plan) *engine.Reba
 }
 
 // Hook adapts the controller to the engine-wide OnSnapshot callback,
-// managing only the engine's target stage. Topologies where more than
-// one stage is controller-managed register one controller per stage
-// through StageHook and engine.AddSnapshotHook instead.
+// managing only the engine's target stage, via the direct Maybe path.
+// Topologies built through the topology builder run the controller as
+// a control.Policy on the unified loop instead.
 func (c *Controller) Hook() engine.SnapshotHook {
 	return func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
 		if si != e.Target {

@@ -186,6 +186,68 @@ func TestSlowPlannerAppliesLate(t *testing.T) {
 	}
 }
 
+// fixedPlanner always returns the same pre-built plan.
+type fixedPlanner struct{ p *balance.Plan }
+
+func (f fixedPlanner) Name() string { return f.p.Algorithm }
+func (f fixedPlanner) Plan(*stats.Snapshot, balance.Config) *balance.Plan {
+	return f.p
+}
+
+// TestStalePlanDroppedAfterScaleIn pins the elastic hazard: a plan
+// parked in generation before a scale-in may target instances that no
+// longer exist; releasing it unchecked would panic the driver (index
+// out of range in migrateKey) or install routes to a retired task. The
+// controller must drop it and replan from the next snapshot instead.
+func TestStalePlanDroppedAfterScaleIn(t *testing.T) {
+	st := newStage(3)
+	defer st.Stop()
+	// A fixed plan that routes the hot key to instance 2 — exactly the
+	// instance the scale-in below retires.
+	stale := &balance.Plan{
+		Algorithm: "fixed",
+		Table:     route.NewTable(),
+		Moved:     []tuple.Key{7},
+		MoveDest:  map[tuple.Key]int{7: 2},
+		GenTime:   15 * time.Millisecond,
+	}
+	stale.Table.Put(7, 2)
+	c := New(fixedPlanner{stale}, balance.Config{ThetaMax: 0.08, Beta: 1.5})
+	c.IntervalDuration = 10 * time.Millisecond // plans land one interval late
+
+	// Interval 0: imbalance detected at 3 instances; plan deferred.
+	snap := feedSkewed(st, 7, 500, 100)
+	if r := c.Maybe(st, snap); r != nil {
+		t.Fatal("slow plan applied immediately")
+	}
+	// The instance set shrinks while the plan is in generation.
+	st.ScaleIn()
+
+	// Interval 1: the pending plan lands — computed for 3 instances,
+	// released against 2. It must be dropped, not applied.
+	for i := 0; i < 300; i++ {
+		st.Feed(tuple.New(tuple.Key(1000+i), nil))
+	}
+	st.Barrier()
+	snap1 := st.EndInterval(1)
+	if r := c.Maybe(st, snap1); r != nil {
+		t.Fatalf("stale plan applied against the shrunk stage: %+v", r.Plan)
+	}
+	if c.DroppedStale != 1 {
+		t.Fatalf("DroppedStale = %d, want 1", c.DroppedStale)
+	}
+	if c.DeferredApplies != 0 {
+		t.Fatalf("DeferredApplies = %d for a dropped plan", c.DeferredApplies)
+	}
+	// No live key may route beyond the surviving instances.
+	ar := st.AssignmentRouter()
+	for _, k := range st.LiveKeys() {
+		if d := ar.Assignment().Dest(k); d >= 2 {
+			t.Fatalf("key %d routed to retired instance %d", k, d)
+		}
+	}
+}
+
 func TestFastPlannerAppliesImmediately(t *testing.T) {
 	st := newStage(2)
 	defer st.Stop()

@@ -170,6 +170,10 @@ type System struct {
 	Engine     *engine.Engine
 	Stage      *engine.Stage
 	Controller *controller.Controller
+
+	// top is the underlying built topology; Stop tears it down (engine
+	// goroutines plus the stage's control loop).
+	top *topology.System
 }
 
 // NewSystem builds a spout → operator topology with ND instances of
@@ -201,7 +205,7 @@ func NewSystem(cfg Config, spout engine.Spout, op func(id int) engine.Operator) 
 		topology.MinKeys(cfg.MinKeys),
 		topology.PlanInterval(cfg.PlanInterval),
 	).Build()
-	return &System{Cfg: cfg, Engine: t.Engine, Stage: t.Stage(0), Controller: t.Controller(0)}
+	return &System{Cfg: cfg, Engine: t.Engine, Stage: t.Stage(0), Controller: t.Controller(0), top: t}
 }
 
 // NewSystemBatch is NewSystem with a batch-capable spout: the engine
@@ -230,8 +234,14 @@ func (s *System) Run(n int) { s.Engine.Run(n) }
 // Recorder exposes the per-interval metric series.
 func (s *System) Recorder() *metrics.Recorder { return s.Engine.Recorder }
 
-// Stop tears down the engine goroutines.
-func (s *System) Stop() { s.Engine.Stop() }
+// Stop tears down the engine goroutines and the control loop.
+func (s *System) Stop() {
+	if s.top != nil {
+		s.top.Stop()
+		return
+	}
+	s.Engine.Stop()
+}
 
 // Dest evaluates the live partition function for a key (mixed routing
 // systems only).

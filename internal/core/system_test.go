@@ -36,7 +36,7 @@ func TestScaleOutThroughCore(t *testing.T) {
 		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
 	defer sys.Stop()
 	sys.Run(3)
-	moved := sys.Engine.ScaleOutTarget()
+	moved := sys.Engine.ResizeStage(0, +1)
 	if sys.Stage.Instances() != 4 {
 		t.Fatalf("instances = %d after scale-out", sys.Stage.Instances())
 	}
@@ -46,6 +46,25 @@ func TestScaleOutThroughCore(t *testing.T) {
 	sys.Run(3) // must keep running correctly at the new width
 	if sys.Recorder().Len() != 6 {
 		t.Fatalf("recorded %d intervals", sys.Recorder().Len())
+	}
+	// And back down: the live scale-in mirror retires the instance it
+	// just added, migrating its keys to the survivors.
+	movedBack := sys.Engine.ResizeStage(0, -1)
+	if sys.Stage.Instances() != 3 {
+		t.Fatalf("instances = %d after scale-in", sys.Stage.Instances())
+	}
+	if movedBack == 0 {
+		t.Fatal("scale-in moved no state off the retiring instance")
+	}
+	sys.Run(3)
+	if sys.Recorder().Len() != 9 {
+		t.Fatalf("recorded %d intervals", sys.Recorder().Len())
+	}
+	ar := sys.Stage.AssignmentRouter()
+	for _, k := range sys.Stage.LiveKeys() {
+		if d := ar.Assignment().Dest(k); d >= 3 {
+			t.Fatalf("key %d routed to retired instance %d", k, d)
+		}
 	}
 }
 

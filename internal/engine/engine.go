@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/balance"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -112,10 +114,16 @@ func DefaultConfig() Config {
 // and the scratch buffer stays modest (~72 KiB).
 const emitChunk = 1024
 
-// Rebalance reports what the controller hook did at an interval end.
+// Rebalance reports what the controller hook did at an interval end:
+// a rebalance plan, elastic resizes, or both (the unified control
+// plane can apply a plan and a scale command in one round).
 type Rebalance struct {
 	Plan  *balance.Plan
 	Moved int64
+	// ScaledOut and ScaledIn count instance additions and live
+	// retirements applied this interval end.
+	ScaledOut int
+	ScaledIn  int
 }
 
 // SnapshotHook is a controller callback invoked at each interval end
@@ -413,12 +421,16 @@ func (e *Engine) RunInterval() {
 	}
 	m.Index = e.interval
 	m.Emitted = emitN
-	if reb != nil && reb.Plan != nil {
-		m.Rebalanced = true
-		m.PlanMs = float64(reb.Plan.GenTime.Microseconds()) / 1000
-		m.TableSize = reb.Plan.TableSize()
-		if liveState > 0 {
-			m.MigrationPct = 100 * float64(reb.Moved) / float64(liveState)
+	if reb != nil {
+		m.ScaleOuts = reb.ScaledOut
+		m.ScaleIns = reb.ScaledIn
+		if reb.Plan != nil {
+			m.Rebalanced = true
+			m.PlanMs = float64(reb.Plan.GenTime.Microseconds()) / 1000
+			m.TableSize = reb.Plan.TableSize()
+			if liveState > 0 {
+				m.MigrationPct = 100 * float64(reb.Moved) / float64(liveState)
+			}
 		}
 	}
 	e.Recorder.Add(m)
@@ -433,11 +445,21 @@ func (e *Engine) RunInterval() {
 // returns the interval metrics (throughput, latency, skewness).
 func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 	s := e.Stages[si]
-	// The controller hook may have scaled the stage out after arrivals
-	// were captured; new instances simply had zero arrivals.
+	// The controller hook may have resized the stage after arrivals
+	// were captured: new instances simply had zero arrivals; a retired
+	// instance's captured arrivals fold into the last survivor (its
+	// already-processed work must stay in the throughput account, and
+	// its keys' future tuples route to survivors anyway).
 	for len(cost) < s.Instances() {
 		cost = append(cost, 0)
 		tuples = append(tuples, 0)
+	}
+	if n := s.Instances(); len(cost) > n {
+		for d := n; d < len(cost); d++ {
+			cost[n-1] += cost[d]
+			tuples[n-1] += tuples[d]
+		}
+		cost, tuples = cost[:n], tuples[:n]
 	}
 	cap64 := e.capacity[si]
 	var thr float64
@@ -487,13 +509,42 @@ func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 	return m
 }
 
-// ScaleOutTarget adds an instance to the target stage and extends the
-// model's bookkeeping (Fig. 15 scenario). Capacity per task is kept
-// fixed: adding an instance adds headroom.
+// ResizeStage changes stage si's instance set by delta (+1 scale-out,
+// −1 live scale-in) and keeps the model's bookkeeping in step — the
+// generalized elastic actuator (any stage, both directions) behind the
+// unified control plane's ScaleOut/ScaleIn commands. Capacity per task
+// stays fixed: resizing changes headroom, not per-instance speed.
+func (e *Engine) ResizeStage(si, delta int) int64 {
+	return e.ResizeStageObserved(si, delta, nil)
+}
+
+// ResizeStageObserved is ResizeStage with a per-key migration observer
+// forwarded to the stage actuator (nil behaves like ResizeStage).
+func (e *Engine) ResizeStageObserved(si, delta int, obs MigrationObserver) int64 {
+	switch delta {
+	case 1:
+		moved := e.Stages[si].ScaleOutObserved(obs)
+		e.backlogT[si] = append(e.backlogT[si], 0)
+		return moved
+	case -1:
+		moved := e.Stages[si].ScaleInObserved(obs)
+		bt := e.backlogT[si]
+		last := len(bt) - 1
+		// The retired instance's residual tuple backlog folds into the
+		// last survivor, matching the stage's cost-backlog fold.
+		bt[last-1] += bt[last]
+		e.backlogT[si] = bt[:last]
+		return moved
+	default:
+		panic(fmt.Sprintf("engine: ResizeStage delta must be ±1 (got %d)", delta))
+	}
+}
+
+// ScaleOutTarget adds an instance to the target stage (Fig. 15
+// scenario); it is ResizeStage(Target, +1), kept for callers of the
+// pre-ResizeStage API.
 func (e *Engine) ScaleOutTarget() int64 {
-	moved := e.Stages[e.Target].ScaleOut()
-	e.backlogT[e.Target] = append(e.backlogT[e.Target], 0)
-	return moved
+	return e.ResizeStage(e.Target, 1)
 }
 
 // Stop terminates all stage goroutines.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -466,12 +467,25 @@ func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
 	return moved
 }
 
+// MigrationObserver is notified of every key migration an actuation
+// performs (plan application, scale-out, scale-in): key, source task,
+// destination task and the migrated state volume. The control plane's
+// executor uses it to emit one protocol.StateTransfer per migration —
+// step 5 of Fig. 5 as an observable wire event.
+type MigrationObserver = func(k tuple.Key, from, to int, size int64)
+
 // ApplyPlan executes a rebalance plan against live state: pause the
 // migrating keys, move each key's windowed state and statistics from
 // its current owner to the planned destination, install the new routing
 // table, and resume. It returns the total state volume moved. Must be
 // called between Barrier/EndInterval and the next Feed.
 func (s *Stage) ApplyPlan(plan *balance.Plan) int64 {
+	return s.ApplyPlanObserved(plan, nil)
+}
+
+// ApplyPlanObserved is ApplyPlan with a per-key migration observer
+// (nil behaves exactly like ApplyPlan).
+func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) int64 {
 	ar := s.AssignmentRouter()
 	if ar == nil {
 		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
@@ -485,7 +499,11 @@ func (s *Stage) ApplyPlan(plan *balance.Plan) int64 {
 		if src == dst {
 			continue
 		}
-		moved += s.migrateKey(k, src, dst)
+		size := s.migrateKey(k, src, dst)
+		if obs != nil {
+			obs(k, src, dst, size)
+		}
+		moved += size
 	}
 	ar.Swap(route.NewAssignment(plan.Table.Clone(), old.Hasher()))
 	s.Resume()
@@ -533,6 +551,13 @@ func (s *Stage) LiveKeys() []tuple.Key {
 // rebalancing toward θmax is then the controller's job on subsequent
 // intervals (the Fig. 15 scenario). Returns the migrated volume.
 func (s *Stage) ScaleOut() int64 {
+	return s.ScaleOutObserved(nil)
+}
+
+// ScaleOutObserved is ScaleOut with a per-key migration observer (nil
+// behaves exactly like ScaleOut). Migrations run in ascending key
+// order so the observed transfer sequence is deterministic.
+func (s *Stage) ScaleOutObserved(obs MigrationObserver) int64 {
 	ar := s.AssignmentRouter()
 	if ar == nil {
 		panic("engine: ScaleOut requires an assignment router")
@@ -560,15 +585,125 @@ func (s *Stage) ScaleOut() int64 {
 	// Keep the old routing table; recompute destinations under the new
 	// hash and migrate keys whose effective destination moved.
 	newAsg := route.NewAssignment(old.Table().Clone(), newHash)
-	var moved int64
-	for _, k := range s.LiveKeys() {
-		from := old.Dest(k)
-		to := newAsg.Dest(k)
-		if from != to {
-			moved += s.migrateKey(k, from, to)
+	return s.migrateDelta(old, newAsg, s.LiveKeys(), obs, ar)
+}
+
+// ScaleIn retires the stage's last task instance live — the mirror of
+// ScaleOut and the actuator the paper's §VII future work calls for:
+// the retiring task is drained, the consistent-hash ring shrinks (only
+// the retiring instance's arcs move; survivors keep theirs), routing
+// table entries pointing at the retiring instance are dropped so those
+// keys fall back to the shrunk ring, and every key the retiring task
+// still stores or reports migrates to its surviving destination with
+// windowed state and tracker history intact. The retired goroutine is
+// stopped and all per-task bookkeeping shrinks; its residual model
+// backlog folds into the last surviving instance (scale-in fires under
+// sustained *low* utilization, where that backlog is ~0), while its
+// accumulated send-side migration penalty retires with it — the
+// decommissioned instance has no future intervals to charge.
+//
+// Must be called while tasks are idle (between EndInterval and the
+// next Feed — controller-hook time). Returns the migrated volume.
+func (s *Stage) ScaleIn() int64 {
+	return s.ScaleInObserved(nil)
+}
+
+// ScaleInObserved is ScaleIn with a per-key migration observer (nil
+// behaves exactly like ScaleIn).
+func (s *Stage) ScaleInObserved(obs MigrationObserver) int64 {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot scale in", s.Name))
+	}
+	if len(s.tasks) < 2 {
+		panic(fmt.Sprintf("engine: stage %q cannot retire its only instance", s.Name))
+	}
+	old := ar.Assignment()
+	ring, ok := old.Hasher().(*hashring.Ring)
+	if !ok {
+		panic("engine: ScaleIn requires a consistent-hash ring hasher")
+	}
+	rid := len(s.tasks) - 1
+	retiring := s.tasks[rid]
+
+	// Drain the retiring task and enumerate everything it still owns:
+	// keys holding windowed state plus keys with tracker history only
+	// (state already expired, statistics still reported).
+	var retired []tuple.Key
+	retiring.barrier(func(ctx *TaskCtx) {
+		seen := make(map[tuple.Key]struct{})
+		for _, k := range ctx.Store.Keys() {
+			seen[k] = struct{}{}
+		}
+		for _, k := range ctx.Tracker.Keys() {
+			seen[k] = struct{}{}
+		}
+		retired = make([]tuple.Key, 0, len(seen))
+		for k := range seen {
+			retired = append(retired, k)
+		}
+	})
+
+	// The new assignment: table entries pointing at the retiring
+	// instance are dropped (their keys fall back to the shrunk ring);
+	// everything else is untouched, so surviving placements hold.
+	nt := old.Table().Clone()
+	for _, k := range nt.Keys() {
+		if d, _ := nt.Lookup(k); d == rid {
+			nt.Delete(k)
 		}
 	}
-	ar.Swap(newAsg)
+	newAsg := route.NewAssignment(nt, ring.Shrink())
+
+	// Migrate every key whose effective destination moved — by ring
+	// construction exactly the keys F used to send to the retiring
+	// instance, each landing on a surviving one.
+	keys := append(s.LiveKeys(), retired...)
+	moved := s.migrateDelta(old, newAsg, keys, obs, ar)
+
+	// Retire the instance and shrink the per-task bookkeeping. Arrival
+	// accounting was reset by EndInterval; any residual (non-hook-time
+	// callers) folds into the last survivor like the model backlog.
+	retiring.stop()
+	s.tasks = s.tasks[:rid]
+	s.arrivedCost[rid-1] += s.arrivedCost[rid]
+	s.arrivedCost = s.arrivedCost[:rid]
+	s.arrivedTuples[rid-1] += s.arrivedTuples[rid]
+	s.arrivedTuples = s.arrivedTuples[:rid]
+	s.Backlog[rid-1] += s.Backlog[rid]
+	s.Backlog = s.Backlog[:rid]
+	s.MigPenalty = s.MigPenalty[:rid]
+	return moved
+}
+
+// migrateDelta migrates every key in keys whose destination differs
+// between old and next (deduplicated, ascending key order so observer
+// sequences are deterministic), then installs next as the stage's live
+// assignment. Tasks must be idle.
+func (s *Stage) migrateDelta(old, next *route.Assignment, keys []tuple.Key, obs MigrationObserver, ar *AssignmentRouter) int64 {
+	seen := make(map[tuple.Key]struct{}, len(keys))
+	uniq := keys[:0]
+	for _, k := range keys {
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			uniq = append(uniq, k)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	var moved int64
+	for _, k := range uniq {
+		from := old.Dest(k)
+		to := next.Dest(k)
+		if from == to {
+			continue
+		}
+		size := s.migrateKey(k, from, to)
+		if obs != nil {
+			obs(k, from, to, size)
+		}
+		moved += size
+	}
+	ar.Swap(next)
 	return moved
 }
 

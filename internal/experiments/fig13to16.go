@@ -277,7 +277,7 @@ func Fig15() *Result {
 		sys := buildSystem(se.spec)
 		sys.Run(pre)
 		if se.grow {
-			sys.Engine.ScaleOutTarget()
+			sys.Engine.ResizeStage(0, +1)
 		}
 		sys.Run(post)
 		for _, m := range sys.Recorder().Series {

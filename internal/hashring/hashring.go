@@ -129,6 +129,19 @@ func (r *Ring) Grow() *Ring {
 	return New(r.n+1, r.replicas)
 }
 
+// Shrink returns a new ring with the last instance removed, leaving r
+// untouched. Point positions are deterministic per (instance, replica),
+// so the surviving instances keep their arcs exactly: only keys whose
+// clockwise successor was one of the retiring instance's points move —
+// and they move to the next surviving point, never between survivors.
+// This is the scale-in mirror of Grow. n must be at least 2.
+func (r *Ring) Shrink() *Ring {
+	if r.n < 2 {
+		panic(fmt.Sprintf("hashring: cannot shrink a ring of %d instance(s)", r.n))
+	}
+	return New(r.n-1, r.replicas)
+}
+
 // Instances returns the number of instances on the ring.
 func (r *Ring) Instances() int { return r.n }
 

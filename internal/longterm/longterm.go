@@ -22,7 +22,7 @@ package longterm
 import (
 	"fmt"
 
-	"repro/internal/engine"
+	"repro/internal/control"
 	"repro/internal/stats"
 )
 
@@ -127,26 +127,33 @@ func (d *Detector) Observe(totalLoad, totalCapacity int64) Action {
 	return Hold
 }
 
-// AutoScaler layers long-term resource scheduling on top of the
-// short-term rebalance hook: each interval it forwards the snapshot to
-// the inner controller (short-term path), feeds the detector with the
-// total load (long-term path), and applies ScaleOut recommendations by
-// growing the target stage. ScaleIn is recorded but not applied — the
-// engine's task instances cannot retire mid-run; a real deployment
-// would drain and decommission.
+// AutoScaler is the long-term half of the unified control plane: a
+// control.Policy that feeds the detector with each interval's total
+// offered load and answers sustained trends with elastic commands —
+// ScaleOut under sustained overload, ScaleIn under sustained idleness,
+// both applied live by the stage's control.Executor (scale-in drains
+// the retiring instance and migrates its keys' windowed state back to
+// the survivors). Run it on the same per-stage loop as the short-term
+// rebalance controller (topology.WithPolicy after WithAlgorithm): the
+// loop runs policies in order, so the rebalancer handles fluctuations
+// each interval before the detector judges the long-term trend.
 type AutoScaler struct {
-	// Detector decides; Inner is the short-term rebalance hook (may be
-	// nil); Capacity is the per-task service capacity the engine uses.
+	// Detector decides; Capacity overrides the per-task service
+	// capacity reported by the stage (0 uses the reported value).
 	Detector *Detector
-	Inner    func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance
 	Capacity int64
+	// MinInstances floors scale-in: the stage never shrinks below this
+	// many instances. 0 means the floor is 1 (a stage cannot retire its
+	// only instance).
+	MinInstances int
 
-	// History records every non-Hold recommendation with its interval.
+	// History records every applied resize with its interval; a
+	// recommendation suppressed by resizability or the floor leaves no
+	// event.
 	History []Event
-	// ScaleOuts counts applied growths.
+	// ScaleOuts and ScaleIns count applied resizes.
 	ScaleOuts int
-	// ScaleIns counts recommendations that could not be applied.
-	ScaleIns int
+	ScaleIns  int
 }
 
 // Event is one recommendation.
@@ -156,48 +163,16 @@ type Event struct {
 	Util     float64
 }
 
-// Hook adapts the autoscaler to the engine-wide OnSnapshot callback,
-// managing the engine's target stage. (ScaleOut applies through
-// engine.ScaleOutTarget, which grows the target stage; to watch a
-// different stage of a multi-stage topology, register StageHook on the
-// stage marked as target.)
-func (a *AutoScaler) Hook() engine.SnapshotHook {
-	return func(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
-		if si != e.Target {
-			return nil
-		}
-		return a.observe(e, si, snap)
-	}
-}
-
-// StageHook adapts the autoscaler to the engine's per-stage snapshot
-// fan-out (engine.AddSnapshotHook, topology.WithHook): the returned
-// hook acts on exactly stage si's snapshots. The stage must be the
-// engine's target (scale-out grows the target stage); the hook panics
-// otherwise rather than silently holding forever.
-func (a *AutoScaler) StageHook(si int) engine.SnapshotHook {
-	return func(e *engine.Engine, idx int, snap *stats.Snapshot) *engine.Rebalance {
-		if idx != si {
-			return nil
-		}
-		if si != e.Target {
-			panic(fmt.Sprintf("longterm: AutoScaler.StageHook(%d) on a non-target stage (target %d): ScaleOutTarget would grow the wrong stage", si, e.Target))
-		}
-		return a.observe(e, si, snap)
-	}
-}
-
-// observe runs one interval's composition: short-term hook first, then
-// the long-term detector over the stage's total offered load.
-func (a *AutoScaler) observe(e *engine.Engine, si int, snap *stats.Snapshot) *engine.Rebalance {
-	var reb *engine.Rebalance
-	if a.Inner != nil {
-		reb = a.Inner(e, si, snap)
-	}
-	nd := e.Stages[si].Instances()
+// Decide implements control.Policy: one interval's long-term judgment.
+// The detector always observes (its EWMA must track utilization even
+// on stages that cannot resize); commands are only emitted for
+// resizable stages (assignment routing over a consistent-hash ring —
+// exactly what the executor can apply), and scale-in additionally
+// respects the instance floor.
+func (a *AutoScaler) Decide(env control.Env, snap *stats.Snapshot) []control.Command {
 	cap64 := a.Capacity
 	if cap64 == 0 {
-		cap64 = e.CapacityOf(si)
+		cap64 = env.Capacity
 	}
 	// The snapshot records *admitted* load; when backpressure
 	// throttled the spout, true demand is higher by the throttle
@@ -205,29 +180,43 @@ func (a *AutoScaler) observe(e *engine.Engine, si int, snap *stats.Snapshot) *en
 	// comfortable utilization forever (demand hidden by its own
 	// symptom).
 	demand := snap.TotalCost()
-	if emitted := e.LastEmitted(); emitted > 0 && e.Cfg.Budget > emitted {
-		demand = demand * e.Cfg.Budget / emitted
+	if env.Emitted > 0 && env.Budget > env.Emitted {
+		demand = demand * env.Budget / env.Emitted
 	}
-	act := a.Detector.Observe(demand, cap64*int64(nd))
+	act := a.Detector.Observe(demand, cap64*int64(env.Tasks))
 	if act == Hold {
-		return reb
+		return nil
 	}
-	a.History = append(a.History, Event{Interval: snap.Interval, Action: act, Util: a.Detector.Utilization()})
+	// History and counters record *applied* actions only (the summary
+	// says "applied"): a recommendation suppressed by resizability or
+	// the instance floor leaves no event behind.
+	record := func() {
+		a.History = append(a.History, Event{Interval: env.Interval, Action: act, Util: a.Detector.Utilization()})
+	}
 	switch act {
 	case ScaleOut:
-		if e.Stages[si].AssignmentRouter() != nil {
-			e.ScaleOutTarget()
+		if env.Resizable {
+			record()
 			a.ScaleOuts++
+			return []control.Command{control.ScaleOut{}}
 		}
 	case ScaleIn:
-		a.ScaleIns++
+		floor := a.MinInstances
+		if floor < 1 {
+			floor = 1
+		}
+		if env.Resizable && env.Tasks > floor {
+			record()
+			a.ScaleIns++
+			return []control.Command{control.ScaleIn{}}
+		}
 	}
-	return reb
+	return nil
 }
 
 // Summary renders the action history.
 func (a *AutoScaler) Summary() string {
-	s := fmt.Sprintf("scale-outs applied: %d, scale-ins recommended: %d\n", a.ScaleOuts, a.ScaleIns)
+	s := fmt.Sprintf("scale-outs applied: %d, scale-ins applied: %d\n", a.ScaleOuts, a.ScaleIns)
 	for _, ev := range a.History {
 		s += fmt.Sprintf("  interval %d: %s (util %.2f)\n", ev.Interval, ev.Action, ev.Util)
 	}

@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"repro/internal/balance"
+	"repro/internal/control"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -90,6 +92,7 @@ func TestActionString(t *testing.T) {
 
 // End to end: a workload that doubles permanently must grow the
 // operator; the autoscaler keeps the short-term controller running.
+// Both policies ride one control loop over the loopback transport.
 func TestAutoScalerGrowsUnderSustainedShift(t *testing.T) {
 	var n uint64
 	rate := int64(7000) // 87.5% of the 8×1000 capacity: comfortably steady
@@ -107,8 +110,10 @@ func TestAutoScalerGrowsUnderSustainedShift(t *testing.T) {
 
 	ctl := controller.New(balance.Mixed{}, balance.Config{ThetaMax: 0.08, TableMax: 3000, Beta: 1.5})
 	ctl.MinKeys = 16
-	as := &AutoScaler{Detector: NewDetector(), Inner: ctl.Hook()}
-	e.OnSnapshot = as.Hook()
+	as := &AutoScaler{Detector: NewDetector()}
+	loop := control.NewLoop(e, 0, []control.Policy{ctl, as})
+	defer loop.Close()
+	e.AddSnapshotHook(0, loop.Hook())
 
 	e.Run(8) // steady: no action expected
 	if as.ScaleOuts != 0 {
@@ -130,13 +135,16 @@ func TestAutoScalerGrowsUnderSustainedShift(t *testing.T) {
 	}
 }
 
-func TestAutoScalerRecordsScaleInWithoutApplying(t *testing.T) {
+// Sustained idleness must now retire instances live — the executor
+// applies ScaleIn instead of merely recording it — and every key's
+// state must land on a surviving instance.
+func TestAutoScalerAppliesScaleIn(t *testing.T) {
 	var n uint64
 	spout := func() tuple.Tuple {
 		n++
 		return tuple.New(tuple.Key(n%100), nil)
 	}
-	st := engine.NewStage("op", 4, func(int) engine.Operator { return engine.Discard }, 1,
+	st := engine.NewStage("op", 4, func(int) engine.Operator { return engine.StatefulCount }, 1,
 		engine.NewAssignmentRouter(core.NewAssignment(4)))
 	cfg := engine.DefaultConfig()
 	cfg.Budget = 400 // 10% utilization at capacity 1000
@@ -144,16 +152,47 @@ func TestAutoScalerRecordsScaleInWithoutApplying(t *testing.T) {
 	e := engine.New(spout, cfg, st)
 	defer e.Stop()
 
-	as := &AutoScaler{Detector: NewDetector()}
-	e.OnSnapshot = as.Hook()
-	e.Run(20)
+	as := &AutoScaler{Detector: NewDetector(), MinInstances: 2}
+	loop := control.NewLoop(e, 0, []control.Policy{as})
+	defer loop.Close()
+	e.AddSnapshotHook(0, loop.Hook())
+	e.Run(30)
 	if as.ScaleIns == 0 {
-		t.Fatal("sustained idleness never recommended scale-in")
+		t.Fatal("sustained idleness never applied a scale-in")
 	}
-	if st.Instances() != 4 {
-		t.Fatal("scale-in must not remove instances")
+	if got := st.Instances(); got >= 4 || got < 2 {
+		t.Fatalf("instances = %d after scale-in (want within [2, 4))", got)
+	}
+	ar := st.AssignmentRouter()
+	for _, k := range st.LiveKeys() {
+		if d := ar.Assignment().Dest(k); d >= st.Instances() {
+			t.Fatalf("key %d routed to retired instance %d", k, d)
+		}
 	}
 	if !strings.Contains(as.Summary(), "scale-in") {
 		t.Fatal("summary missing scale-in events")
+	}
+	if strings.Contains(as.Summary(), "recommended") {
+		t.Fatal("summary still claims scale-ins are only recommended")
+	}
+}
+
+// The MinInstances floor must hold even under permanent idleness.
+func TestAutoScalerRespectsInstanceFloor(t *testing.T) {
+	as := &AutoScaler{Detector: NewDetector(), MinInstances: 3}
+	env := control.Env{Interval: 0, Tasks: 3, Capacity: 1000, Routable: true, Resizable: true}
+	snap := &stats.Snapshot{ND: 3}
+	for i := 0; i < 40; i++ {
+		env.Interval = int64(i)
+		snap.Keys = []stats.KeyStat{{Key: 1, Cost: 100, Dest: 0}}
+		if cmds := as.Decide(env, snap); len(cmds) != 0 {
+			t.Fatalf("interval %d: floor ignored, got %v", i, cmds)
+		}
+	}
+	if as.ScaleIns != 0 {
+		t.Fatalf("ScaleIns = %d at the floor", as.ScaleIns)
+	}
+	if len(as.History) != 0 {
+		t.Fatalf("history records %d unapplied actions", len(as.History))
 	}
 }

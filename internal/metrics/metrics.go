@@ -33,6 +33,13 @@ type Interval struct {
 	Emitted int64
 	// Rebalanced marks intervals where a migration plan was applied.
 	Rebalanced bool
+	// ScaleOuts and ScaleIns count elastic resize events applied at
+	// this interval's end (instances added / retired live by the
+	// control plane's ScaleOut and ScaleIn commands). Like every
+	// Interval field they describe the engine's target stage; resizes
+	// of other stages are recorded in their policies' histories.
+	ScaleOuts int
+	ScaleIns  int
 }
 
 // Recorder accumulates a per-interval series.

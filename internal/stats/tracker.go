@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"sort"
+
 	"repro/internal/tuple"
 )
 
@@ -284,6 +286,27 @@ func (t *Tracker) WindowedMem(k tuple.Key) int64 {
 
 // Finished returns the number of completed intervals.
 func (t *Tracker) Finished() int64 { return t.finished }
+
+// Keys returns every key with any recorded history — current-interval
+// observations or windowed memory in a finished slot — in ascending
+// order. Scale-in uses it to enumerate what a retiring task still
+// reports, so tracker history migrates along with state even for keys
+// whose windowed state has already shrunk to zero.
+func (t *Tracker) Keys() []tuple.Key {
+	seen := make(map[tuple.Key]struct{})
+	t.cur.each(func(c *cell) { seen[c.key] = struct{}{} })
+	for _, h := range t.hist {
+		for k := range h {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make([]tuple.Key, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Assigner resolves a key's current and hash destinations; the route
 // package's Assignment satisfies it.

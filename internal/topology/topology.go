@@ -18,9 +18,12 @@
 // pipeline by default (stage s+1 consumes while stage s is still
 // processing); StoreAndForward selects the legacy barrier transfer,
 // which the equivalence tests pin against. Every stage may carry its
-// own controller — the builder registers one per-stage snapshot hook
-// per managed stage (engine.AddSnapshotHook), lifting the old
-// one-controller-per-engine limit of core.NewSystem.
+// own control loop — the builder assembles the stage's policies (the
+// algorithm-derived rebalance controller plus any WithPolicy
+// additions, e.g. longterm.AutoScaler) into one control.Loop per
+// managed stage, applying rebalance, scale-out and live scale-in
+// commands over protocol messages (WireControl selects the serialized
+// wire transport, pinned equivalent to the loopback default).
 //
 // core.NewSystem and core.NewSystemBatch are thin wrappers over this
 // builder for the single-stage case.
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/compact"
+	"repro/internal/control"
 	"repro/internal/controller"
 	"repro/internal/engine"
 	"repro/internal/hashring"
@@ -148,6 +152,7 @@ type Builder struct {
 	spoutB  engine.SpoutBatch
 	ecfg    engine.Config
 	pipe    *bool // explicit transfer-mode choice; nil = default
+	wire    bool  // control loops speak the gob wire transport
 	advance func(interval int64)
 	stages  []*stageSpec
 }
@@ -213,6 +218,17 @@ func StoreAndForward() Option {
 	return func(b *Builder) { b.pipe = &off }
 }
 
+// WireControl runs every stage's control loop over the gob
+// Codec-over-pipe transport instead of the in-process loopback: each
+// control message (load reports, plan announcements, resizes, state
+// transfers, acks, resume) is fully serialized and parsed per round.
+// Behavior is pinned identical to the loopback default; the option
+// exists to prove multi-process readiness end to end and to measure
+// true wire cost.
+func WireControl() Option {
+	return func(b *Builder) { b.wire = true }
+}
+
 // AdvanceEach installs a per-interval workload callback
 // (engine.AdvanceWorkload): fn runs after every interval so generators
 // can fluctuate or shift their distributions.
@@ -239,6 +255,7 @@ type stageSpec struct {
 	planEvery time.Duration
 	capacity  int64
 	target    bool
+	policies  []control.Policy
 	hooks     []engine.SnapshotHook
 	hookers   []StageHooker
 }
@@ -322,36 +339,50 @@ func Capacity(c int64) StageOption { return func(s *stageSpec) { s.capacity = c 
 // (the operator under study). Default: the first stage.
 func Target() StageOption { return func(s *stageSpec) { s.target = true } }
 
+// WithPolicy attaches an additional control.Policy to this stage's
+// control loop, after the builder-created rebalance controller (if
+// any): each interval the loop hands the stage's snapshot to every
+// policy in order and applies the emitted commands — rebalance plans,
+// scale-out, live scale-in — through the stage's single executor over
+// protocol messages. This is how long-term policies
+// (longterm.AutoScaler) layer on top of the short-term rebalancer.
+func WithPolicy(p control.Policy) StageOption {
+	return func(s *stageSpec) { s.policies = append(s.policies, p) }
+}
+
 // WithHook registers a raw per-stage snapshot hook, for callers that
-// layer policies the builder does not model. Hooks run after the
-// stage's builder-created controller, in registration order. The hook
-// is invoked with this stage's snapshots only; beware adapters that
+// need direct engine access the command vocabulary does not model.
+// Hooks bypass the control plane: they run after the stage's control
+// loop, in registration order, on the driver goroutine. The hook is
+// invoked with this stage's snapshots only; beware adapters that
 // filter on the engine's recording target internally
-// (longterm.AutoScaler.Hook, controller.Controller.Hook) — on a
-// non-target stage they no-op silently. Prefer WithStageHook, which
-// binds the stage index for you.
+// (controller.Controller.Hook) — on a non-target stage they no-op
+// silently. Policies should prefer WithPolicy, which routes through
+// the unified command path.
 func WithHook(h engine.SnapshotHook) StageOption {
 	return func(s *stageSpec) { s.hooks = append(s.hooks, h) }
 }
 
-// StageHooker is any policy that can bind a snapshot hook to a stage
-// index — controller.Controller and longterm.AutoScaler both can.
+// StageHooker is any adapter that can bind a snapshot hook to a stage
+// index — controller.Controller can, for hand-wired setups.
 type StageHooker interface {
 	StageHook(si int) engine.SnapshotHook
 }
 
 // WithStageHook registers h.StageHook(si) with this stage's own index,
 // resolved at Build time — unlike WithHook, the caller cannot bind the
-// wrong position when stages are later inserted or reordered.
+// wrong position when stages are later inserted or reordered. Like
+// WithHook it bypasses the control plane; prefer WithPolicy.
 func WithStageHook(h StageHooker) StageOption {
 	return func(s *stageSpec) { s.hookers = append(s.hookers, h) }
 }
 
 // System is a built topology: the engine plus the per-stage
-// controllers the builder created.
+// controllers and control loops the builder created.
 type System struct {
 	Engine *engine.Engine
 	ctls   []*controller.Controller
+	loops  []*control.Loop // per stage; nil for stages without policies
 	byName map[string]int
 }
 
@@ -443,7 +474,12 @@ func (b *Builder) Build() *System {
 	e.Target = target
 	e.AdvanceWorkload = b.advance
 
-	sys := &System{Engine: e, ctls: make([]*controller.Controller, len(b.stages)), byName: names}
+	sys := &System{
+		Engine: e,
+		ctls:   make([]*controller.Controller, len(b.stages)),
+		loops:  make([]*control.Loop, len(b.stages)),
+		byName: names,
+	}
 	for si, s := range b.stages {
 		if c := s.capacity; c != 0 {
 			e.SetStageCapacity(si, c)
@@ -459,6 +495,11 @@ func (b *Builder) Build() *System {
 			e.SetStageCapacity(si, int64(float64(c)/PKGOverhead))
 		}
 
+		// The stage's control loop: the builder-created rebalance
+		// controller (when the algorithm has a planner) followed by any
+		// WithPolicy additions, all speaking commands through one
+		// per-stage executor over protocol messages.
+		var policies []control.Policy
 		if p := s.planner; p != nil {
 			tm := s.tableMax
 			if tm < 0 {
@@ -467,8 +508,18 @@ func (b *Builder) Build() *System {
 			ctl := controller.New(p, balance.Config{ThetaMax: s.theta, TableMax: tm, Beta: s.beta})
 			ctl.MinKeys = s.minKeys
 			ctl.IntervalDuration = s.planEvery
-			e.AddSnapshotHook(si, ctl.StageHook(si))
+			policies = append(policies, ctl)
 			sys.ctls[si] = ctl
+		}
+		policies = append(policies, s.policies...)
+		if len(policies) > 0 {
+			var lopts []control.LoopOption
+			if b.wire {
+				lopts = append(lopts, control.Wire())
+			}
+			loop := control.NewLoop(e, si, policies, lopts...)
+			sys.loops[si] = loop
+			e.AddSnapshotHook(si, loop.Hook())
 		}
 		for _, h := range s.hooks {
 			e.AddSnapshotHook(si, h)
@@ -483,8 +534,20 @@ func (b *Builder) Build() *System {
 // Run executes n intervals.
 func (s *System) Run(n int) { s.Engine.Run(n) }
 
-// Stop tears down the engine goroutines.
-func (s *System) Stop() { s.Engine.Stop() }
+// Stop tears down the engine goroutines and the per-stage control
+// loops (policy state is safe to read after Stop returns).
+func (s *System) Stop() {
+	s.Engine.Stop()
+	for _, l := range s.loops {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// Loop returns stage si's control loop, or nil for stages without
+// policies.
+func (s *System) Loop(si int) *control.Loop { return s.loops[si] }
 
 // Recorder exposes the target stage's per-interval metric series.
 func (s *System) Recorder() *metrics.Recorder { return s.Engine.Recorder }
