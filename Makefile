@@ -40,8 +40,11 @@ bench-multistage:
 ## (loopback vs Codec-over-pipe wire transport, several snapshot
 ## sizes, plus whole-interval direct-vs-loop-vs-wire). One hold round
 ## is the steady cost a controller-managed stage adds per interval.
+## RebalanceLatency is the migration-mode comparison: p50/p99 feed
+## latency with and without a concurrent plan, pausing vs pause-free —
+## the pause-free protocol's p99 must stay flat across a rebalance.
 bench-control:
-	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval' -benchtime 1s ./internal/control/
+	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval|RebalanceLatency' -benchtime 1s ./internal/control/
 
 ## exhibits: regenerate every paper exhibit. PIPELINE=1 runs them with
 ## streaming inter-stage transfer (key-partitioned exhibit outputs do

@@ -142,6 +142,11 @@ type dataplaneReport struct {
 	NumCPU       int                `json:"num_cpu,omitempty"`
 	Feeders      int                `json:"feeders"`
 	TuplesPerSec map[string]float64 `json:"tuples_per_sec"`
+	// FeedLatencyUs records the engine_interval run's wall-clock
+	// FeedBatch-call latency quantiles in µs (engine.Config.FeedLatency
+	// histograms, worst interval), the steady-state companion to the
+	// rebalance-latency comparison in `make bench-control`.
+	FeedLatencyUs map[string]float64 `json:"feed_latency_us,omitempty"`
 }
 
 // readDataplaneReport loads a previously written report, for the
@@ -229,6 +234,28 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 	})
 	report.TuplesPerSec["feed_batch"] = perTuple(fb)
 
+	// The same measurement through the pausing-migration oracle: the
+	// builder default is the pause-free generation-stamped feed path,
+	// so feed_batch vs feed_batch_pausing is the no-migration hot-path
+	// price of each mode.
+	fbo := testing.Benchmark(func(b *testing.B) {
+		st := topology.New(topology.PausingMigration()).
+			Stage("bench", func(int) engine.Operator { return engine.Discard },
+				topology.Instances(10)).
+			Build().Stage(0)
+		defer st.Stop()
+		for n := 0; n < b.N; n += batch {
+			off := n % len(keys)
+			if off+batch > len(keys) {
+				off = 0
+			}
+			st.FeedBatch(keys[off : off+batch])
+		}
+		b.StopTimer()
+		st.Barrier()
+	})
+	report.TuplesPerSec["feed_batch_pausing"] = perTuple(fbo)
+
 	// The fanned-out feed: `feeders` goroutines each drive FeedBatch
 	// with a private buffer, the emission shape of Cfg.Feeders = N.
 	// Recorded only when actually fanned out, so the key always means
@@ -290,6 +317,10 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 			sys := core.NewSystemBatch(core.Config{Instances: 10, Algorithm: core.AlgMixed, Budget: 10000, MinKeys: 64, Feeders: nFeeders},
 				gen.NextBatch, func(int) engine.Operator { return engine.StatefulCount })
 			defer sys.Stop()
+			// Time the feed calls too: the per-interval histograms cost
+			// one clock read per FeedBatch and surface the p50/p99 the
+			// rebalance-latency bench compares against.
+			sys.Engine.Cfg.FeedLatency = true
 			b.ResetTimer()
 			sys.Run(b.N)
 			b.StopTimer()
@@ -299,10 +330,15 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 			emittedTotal = 0
 			for _, m := range sys.Recorder().Series {
 				emittedTotal += m.Emitted
+				if m.FeedP99Us > report.FeedLatencyUs["p99"] {
+					report.FeedLatencyUs["p50"] = m.FeedP50Us
+					report.FeedLatencyUs["p99"] = m.FeedP99Us
+				}
 			}
 		})
 		return float64(emittedTotal) / ei.T.Seconds()
 	}
+	report.FeedLatencyUs = map[string]float64{}
 	report.TuplesPerSec["engine_interval"] = engineRate(1)
 	if feeders > 1 {
 		report.TuplesPerSec["engine_interval_feeders"] = engineRate(feeders)
@@ -393,6 +429,10 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 			}
 		}
 		fmt.Printf("  %-24s %14.0f tuples/sec\n", k, v)
+	}
+	if p99 := report.FeedLatencyUs["p99"]; p99 > 0 {
+		fmt.Printf("  %-24s p50 %.1f µs, p99 %.1f µs (worst interval, engine_interval run)\n",
+			"feed_latency", report.FeedLatencyUs["p50"], p99)
 	}
 	return nil
 }

@@ -4,9 +4,10 @@
 // scheme, the LLFD/MinTable/MinMig/Mixed rebalance planners, the
 // compact 6-dimensional statistics representation with HLHE
 // discretization, a goroutine-based stream-processing engine substrate
-// with the Fig. 5 pause/migrate/resume protocol, the Readj and PKG
-// baselines, and a benchmark harness regenerating every table and
-// figure of the paper's evaluation.
+// with generation-stamped pause-free live migration (the Fig. 5
+// pause/migrate/resume protocol remains the pinned oracle), the Readj
+// and PKG baselines, and a benchmark harness regenerating every table
+// and figure of the paper's evaluation.
 //
 // Entry points:
 //
@@ -95,10 +96,11 @@
 //   - the engine draws tuples through a batch spout (engine.SpoutBatch,
 //     workload NextBatch methods) into a reusable scratch buffer;
 //   - engine.Stage.FeedBatch partitions a whole batch into
-//     per-destination slices under a single lock acquisition (an atomic
-//     paused-generation flag keeps the pause-key check off the fast
-//     path) and sends each task at most one channel message per batch,
-//     carved from a refcount-recycled buffer;
+//     per-destination slices against a wait-free atomic load of the
+//     generation-stamped routing assignment (no lock, no paused-key
+//     check on the pause-free default; one lock acquisition on the
+//     pausing oracle) and sends each task at most one channel message
+//     per batch, carved from a refcount-recycled buffer;
 //   - route.Assignment.DestBatch/DestTuples resolve destinations with
 //     the empty-table test and interface dispatch hoisted out of the
 //     per-tuple loop;
@@ -111,9 +113,26 @@
 //     allocation.
 //
 // Batching changes cost, not semantics: routing decisions, interval
-// boundaries and the pause/migrate/resume protocol are exactly those
-// of the per-tuple path (equivalence is pinned by tests; exhibit
-// outputs are bit-identical).
+// boundaries and the migration protocol are exactly those of the
+// per-tuple path (equivalence is pinned by tests; exhibit outputs are
+// bit-identical).
+//
+// # Pause-free live migration
+//
+// Applying a rebalance plan no longer pauses the feed path. The
+// routing assignment and hash-ring LUT are published behind a single
+// atomic pointer with a generation counter; Feed/FeedBatch load it
+// wait-free and stamp batches with the generation they routed under.
+// A plan swaps the new generation in first, the destination buffers
+// new-generation tuples for each moving key in a bounded handoff
+// queue armed before the swap, and the source extracts windowed state
+// and tracker history once its own old-generation watermark passes —
+// per task, no stage-wide drain. topology.PausingMigration() (or
+// engine.Config.PauseFree = false) selects the paper's literal Fig. 5
+// sequence, pinned bit-equivalent by a randomized schedule test and
+// raced by a continuous-plan stress test. engine.Config.FeedLatency
+// records a per-feeder latency histogram (metrics.LatencyHist) merged
+// into metrics.Interval.FeedP50Us/FeedP99Us.
 //
 // See README.md for the architecture tour; per-exhibit interpretation
 // against the published shapes lives with the runners in

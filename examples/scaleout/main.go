@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/ops"
 	"repro/internal/topology"
@@ -45,7 +46,11 @@ func main() {
 	sys.Run(pre)
 	report(0, pre)
 
-	moved := sys.Engine.ResizeStage(0, +1)
+	moved, err := sys.Engine.ResizeStage(0, +1)
+	if err != nil {
+		fmt.Printf("scale-out failed: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("--- scale-out: instance 9 added; consistent hashing moved %d state units ---\n", moved)
 
 	sys.Run(total - pre)

@@ -2,10 +2,14 @@ package control_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/balance"
 	"repro/internal/control"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/tuple"
@@ -91,6 +95,103 @@ func BenchmarkControlRound(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					hook(e, 0, snap)
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkRebalanceLatency is the tentpole's headline measurement:
+// the distribution of FeedBatch call latency — p50 and p99, reported
+// as p50-µs / p99-µs — with and without a controller goroutine
+// applying rebalance plans continuously, on the pausing oracle versus
+// the pause-free generation protocol. On the pausing path every plan
+// pauses feeds and drains in-flight sends, so the rebalance case
+// shows a p99 cliff over its steady case; pause-free feeders never
+// block on a plan and p99 stays flat. Run via `make bench-control`.
+func BenchmarkRebalanceLatency(b *testing.B) {
+	const (
+		nd        = 4
+		keyDomain = 512
+		chunk     = 256
+	)
+	for _, mode := range []string{"pausing", "pausefree"} {
+		for _, load := range []string{"steady", "rebalance"} {
+			b.Run(mode+"/"+load, func(b *testing.B) {
+				st := engine.NewStage("bench", nd, func(int) engine.Operator { return engine.StatefulCount }, 1,
+					engine.NewAssignmentRouter(topology.NewAssignment(nd)))
+				defer st.Stop()
+				if mode == "pausefree" {
+					if err := st.SetPauseFree(true); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pre := make([]tuple.Tuple, keyDomain)
+				for i := range pre {
+					pre[i] = tuple.New(tuple.Key(i), nil)
+				}
+				st.FeedBatch(pre)
+				st.Barrier()
+
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				if load == "rebalance" {
+					// Controller goroutine: rotate a fifth of the key
+					// domain one instance over, continuously, via the
+					// live-migration entry point (on the pausing oracle
+					// that is pause → drain → migrate → resume; on a
+					// pause-free stage it is the generation protocol).
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							asg := st.AssignmentRouter().Assignment()
+							tab := asg.Table().Clone()
+							plan := &balance.Plan{Table: tab, MoveDest: map[tuple.Key]int{}}
+							for k := tuple.Key(i % 5); k < keyDomain; k += 5 {
+								dst := (asg.Dest(k) + 1) % nd
+								tab.Put(k, dst)
+								plan.Moved = append(plan.Moved, k)
+								plan.MoveDest[k] = dst
+							}
+							if _, err := st.ApplyPlanLive(plan); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+
+				buf := make([]tuple.Tuple, chunk)
+				var seq int
+				var hist metrics.LatencyHist
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range buf {
+						buf[j] = tuple.New(tuple.Key(seq%keyDomain), nil)
+						seq++
+					}
+					t0 := time.Now()
+					st.FeedBatch(buf)
+					hist.Observe(time.Since(t0))
+					// Drain periodically (outside the histogram) so the
+					// measurement is feed-path stall, not steady-state
+					// queue saturation — which would bury both modes
+					// under the same backlog delay.
+					if i%8 == 7 {
+						st.Barrier()
+					}
+				}
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+				st.Barrier()
+				b.ReportMetric(hist.QuantileUs(0.5), "p50-µs")
+				b.ReportMetric(hist.QuantileUs(0.99), "p99-µs")
 			})
 		}
 	}

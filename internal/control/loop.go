@@ -64,7 +64,14 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 				break
 			}
 			plan := protocol.PlanFromAnnounce(m.Plan)
-			moved := st.ApplyPlanObserved(plan, x.transferObserver())
+			moved, err := st.ApplyPlanObserved(plan, x.transferObserver())
+			if err != nil {
+				// Same reject-as-hold as the guards above: the router
+				// check raced a topology change, so the plan no longer
+				// applies. Nothing was migrated; Ack and move on.
+				x.ack(m.Plan.Interval)
+				break
+			}
 			if reb == nil {
 				reb = &engine.Rebalance{}
 			}
@@ -78,7 +85,13 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 				x.ack(m.ResizeCmd.Interval)
 				break
 			}
-			x.e.ResizeStageObserved(x.si, delta, x.transferObserver())
+			if _, err := x.e.ResizeStageObserved(x.si, delta, x.transferObserver()); err != nil {
+				// Reject-as-hold: the resize stopped being applicable
+				// between canResize and actuation. Ack keeps the round
+				// in step; nothing moved.
+				x.ack(m.ResizeCmd.Interval)
+				break
+			}
 			if reb == nil {
 				reb = &engine.Rebalance{}
 			}

@@ -165,9 +165,14 @@ func (c *Controller) Maybe(stage *engine.Stage, snap *stats.Snapshot) *engine.Re
 
 // apply installs a plan against the live stage. Keys that disappeared
 // since planning simply migrate zero state; the routing table installs
-// as computed.
+// as computed. A stage that cannot apply plans (no assignment router)
+// yields a hold — c.decide already gates on routability, so the error
+// leg is unreachable in practice.
 func (c *Controller) apply(stage *engine.Stage, plan *balance.Plan) *engine.Rebalance {
-	moved := stage.ApplyPlan(plan)
+	moved, err := stage.ApplyPlan(plan)
+	if err != nil {
+		return nil
+	}
 	c.Applied = append(c.Applied, plan)
 	return &engine.Rebalance{Plan: plan, Moved: moved}
 }

@@ -36,7 +36,10 @@ func TestScaleOutThroughCore(t *testing.T) {
 		gen.Next, func(int) engine.Operator { return engine.StatefulCount })
 	defer sys.Stop()
 	sys.Run(3)
-	moved := sys.Engine.ResizeStage(0, +1)
+	moved, err := sys.Engine.ResizeStage(0, +1)
+	if err != nil {
+		t.Fatalf("ResizeStage(+1): %v", err)
+	}
 	if sys.Stage.Instances() != 4 {
 		t.Fatalf("instances = %d after scale-out", sys.Stage.Instances())
 	}
@@ -49,7 +52,10 @@ func TestScaleOutThroughCore(t *testing.T) {
 	}
 	// And back down: the live scale-in mirror retires the instance it
 	// just added, migrating its keys to the survivors.
-	movedBack := sys.Engine.ResizeStage(0, -1)
+	movedBack, err := sys.Engine.ResizeStage(0, -1)
+	if err != nil {
+		t.Fatalf("ResizeStage(-1): %v", err)
+	}
 	if sys.Stage.Instances() != 3 {
 		t.Fatalf("instances = %d after scale-in", sys.Stage.Instances())
 	}

@@ -96,6 +96,25 @@ type Config struct {
 	// the equivalence stays testable. Single-stage topologies are
 	// unaffected either way.
 	Pipeline bool
+	// PauseFree selects the generation-epoch live-migration protocol on
+	// every assignment-routed stage (stages with other routers are
+	// unaffected): routing state is published behind an atomic pointer
+	// carrying a generation counter, Feed/FeedBatch load it wait-free
+	// and stamp each batch, and plan application hands migrating keys
+	// over via destination-side buffers instead of pausing the feed.
+	// The hot path loses the paused-key branch and the migration drain
+	// entirely; at interval hooks the observable effects (state,
+	// statistics, routing tables, metrics) are identical to the pausing
+	// protocol, which remains selectable as the equivalence oracle by
+	// leaving this false.
+	PauseFree bool
+	// FeedLatency enables the per-interval feed-latency histogram:
+	// every FeedBatch call on stage 0 is wall-clock timed into a
+	// per-feeder metrics.LatencyHist, and the interval record reports
+	// the merged p50/p99 (Interval.FeedP50Us / FeedP99Us). Off by
+	// default: the measurement itself costs two clock reads per chunk,
+	// and the engine's own latency model is unaffected either way.
+	FeedLatency bool
 }
 
 // DefaultConfig returns the model used across the experiments. The
@@ -104,7 +123,7 @@ type Config struct {
 // single backed-up instance throttles the whole spout, which is exactly
 // how intra-operator imbalance destroys cluster throughput in §I.
 func DefaultConfig() Config {
-	return Config{Window: 1, Budget: 10000, MaxPendingFactor: 0.5, MigrationFactor: 0.5}
+	return Config{Window: 1, Budget: 10000, MaxPendingFactor: 0.5, MigrationFactor: 0.5, PauseFree: true}
 }
 
 // emitChunk is the spout batch size: large enough to amortize the
@@ -182,6 +201,10 @@ type Engine struct {
 	// scratch buffer per feeder.
 	feedShards  []SpoutBatch
 	feedScratch [][]tuple.Tuple
+	// feedHists are the per-feeder feed-latency histograms (index 0 for
+	// the serial path), allocated lazily when Cfg.FeedLatency is set and
+	// merged/reset each interval.
+	feedHists []metrics.LatencyHist
 }
 
 // New assembles an engine over the given stages.
@@ -211,6 +234,10 @@ func (e *Engine) init() *Engine {
 		}
 		e.capacity[i] = c
 		e.backlogT[i] = make([]int64, s.Instances())
+		if cfg.PauseFree && s.AssignmentRouter() != nil {
+			// Error impossible: the router check just passed.
+			_ = s.SetPauseFree(true)
+		}
 	}
 	return e
 }
@@ -421,6 +448,15 @@ func (e *Engine) RunInterval() {
 	}
 	m.Index = e.interval
 	m.Emitted = emitN
+	if e.Cfg.FeedLatency && len(e.feedHists) > 0 {
+		var merged metrics.LatencyHist
+		for f := range e.feedHists {
+			merged.Merge(&e.feedHists[f])
+			e.feedHists[f].Reset()
+		}
+		m.FeedP50Us = merged.QuantileUs(0.50)
+		m.FeedP99Us = merged.QuantileUs(0.99)
+	}
 	if reb != nil {
 		m.ScaleOuts = reb.ScaledOut
 		m.ScaleIns = reb.ScaledIn
@@ -514,36 +550,45 @@ func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 // generalized elastic actuator (any stage, both directions) behind the
 // unified control plane's ScaleOut/ScaleIn commands. Capacity per task
 // stays fixed: resizing changes headroom, not per-instance speed.
-func (e *Engine) ResizeStage(si, delta int) int64 {
+// Returns an error — with no state touched — on an invalid delta or a
+// stage whose router cannot resize (no assignment router, non-ring
+// hasher, retiring the only instance).
+func (e *Engine) ResizeStage(si, delta int) (int64, error) {
 	return e.ResizeStageObserved(si, delta, nil)
 }
 
 // ResizeStageObserved is ResizeStage with a per-key migration observer
 // forwarded to the stage actuator (nil behaves like ResizeStage).
-func (e *Engine) ResizeStageObserved(si, delta int, obs MigrationObserver) int64 {
+func (e *Engine) ResizeStageObserved(si, delta int, obs MigrationObserver) (int64, error) {
 	switch delta {
 	case 1:
-		moved := e.Stages[si].ScaleOutObserved(obs)
+		moved, err := e.Stages[si].ScaleOutObserved(obs)
+		if err != nil {
+			return 0, err
+		}
 		e.backlogT[si] = append(e.backlogT[si], 0)
-		return moved
+		return moved, nil
 	case -1:
-		moved := e.Stages[si].ScaleInObserved(obs)
+		moved, err := e.Stages[si].ScaleInObserved(obs)
+		if err != nil {
+			return 0, err
+		}
 		bt := e.backlogT[si]
 		last := len(bt) - 1
 		// The retired instance's residual tuple backlog folds into the
 		// last survivor, matching the stage's cost-backlog fold.
 		bt[last-1] += bt[last]
 		e.backlogT[si] = bt[:last]
-		return moved
+		return moved, nil
 	default:
-		panic(fmt.Sprintf("engine: ResizeStage delta must be ±1 (got %d)", delta))
+		return 0, fmt.Errorf("engine: ResizeStage delta must be ±1 (got %d)", delta)
 	}
 }
 
 // ScaleOutTarget adds an instance to the target stage (Fig. 15
 // scenario); it is ResizeStage(Target, +1), kept for callers of the
 // pre-ResizeStage API.
-func (e *Engine) ScaleOutTarget() int64 {
+func (e *Engine) ScaleOutTarget() (int64, error) {
 	return e.ResizeStage(e.Target, 1)
 }
 

@@ -107,7 +107,10 @@ func TestApplyPlanMigratesState(t *testing.T) {
 		Moved:    []tuple.Key{k},
 		MoveDest: map[tuple.Key]int{k: dst},
 	}
-	moved := st.ApplyPlan(plan)
+	moved, err := st.ApplyPlan(plan)
+	if err != nil {
+		t.Fatalf("ApplyPlan: %v", err)
+	}
 	if moved != 10 {
 		t.Fatalf("ApplyPlan moved %d state units, want 10", moved)
 	}
@@ -163,7 +166,10 @@ func TestScaleOutPreservesStateAndCorrectness(t *testing.T) {
 	for d := 0; d < 3; d++ {
 		before += st.StoreOf(d).TotalSize()
 	}
-	moved := st.ScaleOut()
+	moved, err := st.ScaleOut()
+	if err != nil {
+		t.Fatalf("ScaleOut: %v", err)
+	}
 	if st.Instances() != 4 {
 		t.Fatalf("instances = %d after ScaleOut", st.Instances())
 	}

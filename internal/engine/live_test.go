@@ -50,11 +50,14 @@ func TestApplyPlanLiveConcurrentWithTraffic(t *testing.T) {
 	tab.Put(hot, dst)
 	for processed.Load() < total/4 {
 	}
-	moved := st.ApplyPlanLive(&balance.Plan{
+	moved, err := st.ApplyPlanLive(&balance.Plan{
 		Table:    tab,
 		Moved:    []tuple.Key{hot},
 		MoveDest: map[tuple.Key]int{hot: dst},
 	})
+	if err != nil {
+		t.Fatalf("ApplyPlanLive: %v", err)
+	}
 	if moved == 0 {
 		t.Error("live migration moved no state despite hot-key traffic")
 	}
@@ -134,13 +137,10 @@ func TestApplyPlanLiveManyKeysUnderLoad(t *testing.T) {
 	}
 }
 
-func TestApplyPlanLiveOnShuffleStagePanics(t *testing.T) {
+func TestApplyPlanLiveOnShuffleStageErrors(t *testing.T) {
 	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, NewShuffleRouter(2))
 	defer st.Stop()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ApplyPlanLive on shuffle stage did not panic")
-		}
-	}()
-	st.ApplyPlanLive(&balance.Plan{})
+	if _, err := st.ApplyPlanLive(&balance.Plan{}); err == nil {
+		t.Fatal("ApplyPlanLive on shuffle stage did not error")
+	}
 }

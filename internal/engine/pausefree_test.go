@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// Tests of pause-free migration: the generation-stamped routing path
+// must be bit-identical to the pausing oracle at hook time, and must
+// survive continuous plan application under live traffic with zero
+// tuple loss and no double-delivery (run under -race by the suite).
+
+// TestPauseFreeMatchesPausingOracle pins the tentpole equivalence
+// claim: the same spout and the same randomized plan schedule, run
+// once pause-free and once through the pausing oracle, produce
+// bit-identical interval series, final harvest snapshots, routing
+// tables and state placement.
+func TestPauseFreeMatchesPausingOracle(t *testing.T) {
+	run := func(pauseFree bool) (*Engine, *Stage) {
+		gen := workload.NewZipfStream(1500, 0.9, 0, 8000, 41)
+		st := statefulStage(4, 2)
+		cfg := DefaultConfig()
+		cfg.Budget = 8000
+		cfg.PauseFree = pauseFree
+		e := NewBatch(gen.NextBatch, cfg, st)
+		if st.PauseFree() != pauseFree {
+			t.Fatalf("stage pause-free = %v, want %v", st.PauseFree(), pauseFree)
+		}
+		// Seeded random plan schedule: each interval (with probability
+		// 3/4) roughly 6% of the harvested keys move to a random other
+		// instance. Both modes see identical snapshots, so identical
+		// seeds yield identical schedules — the inductive step of the
+		// equivalence pin.
+		rng := rand.New(rand.NewSource(97))
+		e.AddSnapshotHook(0, func(e *Engine, si int, snap *stats.Snapshot) *Rebalance {
+			if len(snap.Keys) == 0 || rng.Intn(4) == 0 {
+				return nil
+			}
+			stage := e.Stages[si]
+			asg := stage.AssignmentRouter().Assignment()
+			tab := asg.Table().Clone()
+			plan := &balance.Plan{Table: tab, MoveDest: map[tuple.Key]int{}}
+			for _, ks := range snap.Keys {
+				if rng.Intn(16) != 0 {
+					continue
+				}
+				dst := (asg.Dest(ks.Key) + 1 + rng.Intn(snap.ND-1)) % snap.ND
+				tab.Put(ks.Key, dst)
+				plan.Moved = append(plan.Moved, ks.Key)
+				plan.MoveDest[ks.Key] = dst
+			}
+			if len(plan.Moved) == 0 {
+				return nil
+			}
+			moved, err := stage.ApplyPlan(plan)
+			if err != nil {
+				t.Fatalf("ApplyPlan(pauseFree=%v): %v", pauseFree, err)
+			}
+			return &Rebalance{Plan: plan, Moved: moved}
+		})
+		e.Run(8)
+		return e, st
+	}
+
+	oracle, ost := run(false)
+	defer oracle.Stop()
+	live, lst := run(true)
+	defer live.Stop()
+
+	for i := range oracle.Recorder.Series {
+		a, b := oracle.Recorder.Series[i], live.Recorder.Series[i]
+		a.PlanMs, b.PlanMs = 0, 0
+		if a != b {
+			t.Fatalf("interval %d diverges:\npausing    %+v\npause-free %+v", i, a, b)
+		}
+	}
+	os, ls := oracle.LastSnapshots()[0], live.LastSnapshots()[0]
+	if len(os.Keys) != len(ls.Keys) {
+		t.Fatalf("snapshot sizes %d ≠ %d", len(ls.Keys), len(os.Keys))
+	}
+	for i := range os.Keys {
+		if os.Keys[i] != ls.Keys[i] {
+			t.Fatalf("snapshot entry %d: pausing %+v, pause-free %+v", i, os.Keys[i], ls.Keys[i])
+		}
+	}
+	otab := map[tuple.Key]int{}
+	ost.AssignmentRouter().Assignment().Table().Each(func(k tuple.Key, d int) { otab[k] = d })
+	ltab := map[tuple.Key]int{}
+	lst.AssignmentRouter().Assignment().Table().Each(func(k tuple.Key, d int) { ltab[k] = d })
+	if len(otab) != len(ltab) {
+		t.Fatalf("table sizes %d ≠ %d", len(ltab), len(otab))
+	}
+	for k, d := range otab {
+		if ltab[k] != d {
+			t.Fatalf("table entry %d: pausing %d, pause-free %d", k, d, ltab[k])
+		}
+	}
+	for d := 0; d < 4; d++ {
+		if a, b := ost.StoreOf(d).TotalSize(), lst.StoreOf(d).TotalSize(); a != b {
+			t.Fatalf("instance %d state: pausing %d, pause-free %d", d, a, b)
+		}
+	}
+	if lst.AssignmentRouter().Assignment().Gen() == 0 {
+		t.Fatal("pause-free run never advanced the routing generation")
+	}
+}
+
+// forwardCountOp counts like countingOp and streams every tuple
+// downstream — the stage-0 operator of the pipelined stress topology.
+type forwardCountOp struct {
+	countingOp
+}
+
+func (f *forwardCountOp) Process(ctx *TaskCtx, tp tuple.Tuple) {
+	f.countingOp.Process(ctx, tp)
+	ctx.Emit(tp)
+}
+
+// TestPauseFreeStressContinuousPlans is the -race stress of the
+// generation protocol end to end: four feeder goroutines emit into a
+// pipelined two-stage topology (both stages pause-free) while a
+// controller goroutine applies rebalance plans continuously to both
+// stages. Every tuple must be processed exactly once per stage — zero
+// loss, no double-delivery — and every migrated key's state must sit
+// exactly at its final planned home.
+func TestPauseFreeStressContinuousPlans(t *testing.T) {
+	const (
+		nd          = 4
+		feeders     = 4
+		keyDomain   = 100
+		chunk       = 64
+		minChunks   = 8  // each feeder emits at least this many chunks
+		plansTarget = 12 // controller applies exactly this many plans
+	)
+	fleet0 := make([]*forwardCountOp, nd)
+	st0 := NewStage("pf-up", nd, func(id int) Operator {
+		fleet0[id] = &forwardCountOp{countingOp{counts: make(map[tuple.Key]int64)}}
+		return fleet0[id]
+	}, 2, newAsgRouter(nd))
+	defer st0.Stop()
+	fleet1 := make([]*countingOp, nd)
+	st1 := NewStage("pf-down", nd, func(id int) Operator {
+		fleet1[id] = &countingOp{counts: make(map[tuple.Key]int64)}
+		return fleet1[id]
+	}, 2, newAsgRouter(nd))
+	defer st1.Stop()
+	st0.SetDownstream(st1)
+	for _, st := range []*Stage{st0, st1} {
+		if err := st.SetPauseFree(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Preload both stages so every plan migrates real state.
+	pre := make([]tuple.Tuple, 2*keyDomain)
+	for i := range pre {
+		pre[i] = tuple.New(tuple.Key(i%keyDomain), i)
+	}
+	st0.FeedBatch(pre)
+	st0.Barrier()
+	st1.Barrier()
+
+	// Controller goroutine: rotate a different seventh of the key
+	// domain one instance over, alternating stages, for plansTarget
+	// plans; feeders keep emitting until it is done.
+	stop := make(chan struct{})
+	var ctlWg sync.WaitGroup
+	ctlWg.Add(1)
+	go func() {
+		defer ctlWg.Done()
+		defer close(stop)
+		for i := 0; i < plansTarget; i++ {
+			st := st0
+			if i%2 == 1 {
+				st = st1
+			}
+			asg := st.AssignmentRouter().Assignment()
+			tab := asg.Table().Clone()
+			plan := &balance.Plan{Table: tab, MoveDest: map[tuple.Key]int{}}
+			for k := tuple.Key(i % 7); k < keyDomain; k += 7 {
+				dst := (asg.Dest(k) + 1) % nd
+				tab.Put(k, dst)
+				plan.Moved = append(plan.Moved, k)
+				plan.MoveDest[k] = dst
+			}
+			if _, err := st.ApplyPlan(plan); err != nil {
+				t.Errorf("ApplyPlan: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Four feeders drawing disjoint shares of one shard-split sequence.
+	var seq atomic.Uint64
+	shards := ShardSpout(func(dst []tuple.Tuple) int {
+		for i := range dst {
+			n := seq.Add(1) - 1
+			dst[i] = tuple.New(tuple.Key(n%keyDomain), n)
+		}
+		return len(dst)
+	}, feeders)
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(sb SpoutBatch) {
+			defer wg.Done()
+			buf := make([]tuple.Tuple, chunk)
+			for j := 0; ; j++ {
+				if j >= minChunks {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				got := sb(buf[:chunk])
+				st0.FeedBatch(buf[:got])
+				// Pace the offered load below saturation: a saturated
+				// 4096-deep task queue would make every migration
+				// barrier wait behind a full queue drain, turning the
+				// stress into a minutes-long slog under -race without
+				// sharpening it.
+				time.Sleep(time.Millisecond)
+			}
+		}(shards[f])
+	}
+	ctlWg.Wait()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain: finish stage 0, flush its residual emissions downstream,
+	// then finish stage 1.
+	st0.Barrier()
+	st0.CloseInterval()
+	st1.Barrier()
+
+	fedPerKey := make(map[tuple.Key]int64)
+	for i := range pre {
+		fedPerKey[pre[i].Key]++
+	}
+	total := int64(seq.Load())
+	for n := int64(0); n < total; n++ {
+		fedPerKey[tuple.Key(n%int64(keyDomain))]++
+	}
+
+	got0 := make(map[tuple.Key]int64)
+	for _, op := range fleet0 {
+		for k, n := range op.counts {
+			got0[k] += n
+		}
+	}
+	got1 := mergedCounts(fleet1)
+	for k, n := range fedPerKey {
+		if got0[k] != n {
+			t.Fatalf("stage 0 processed key %d %d times, fed %d (loss or double-delivery)", k, got0[k], n)
+		}
+		if got1[k] != n {
+			t.Fatalf("stage 1 processed key %d %d times, stage 0 emitted %d", k, got1[k], n)
+		}
+	}
+	if len(got0) != len(fedPerKey) || len(got1) != len(fedPerKey) {
+		t.Fatalf("key cardinality: fed %d, stage0 %d, stage1 %d", len(fedPerKey), len(got0), len(got1))
+	}
+
+	// Placement: every key's state sits exactly at its current home on
+	// both stages, and volumes add up to the fed totals.
+	for si, st := range []*Stage{st0, st1} {
+		cur := st.AssignmentRouter().Assignment()
+		var totalState int64
+		for k := tuple.Key(0); k < keyDomain; k++ {
+			home := cur.Dest(k)
+			for d := 0; d < nd; d++ {
+				sz := st.StoreOf(d).Size(k)
+				totalState += sz
+				if d != home && sz != 0 {
+					t.Fatalf("stage %d key %d leaked %d state units on instance %d (home %d)", si, k, sz, d, home)
+				}
+			}
+		}
+		want := int64(len(pre)) + total
+		if totalState != want {
+			t.Fatalf("stage %d total state %d, want %d", si, totalState, want)
+		}
+	}
+}

@@ -65,7 +65,10 @@ func TestEngineScaleOutTarget(t *testing.T) {
 	}, cfg, st)
 	defer e.Stop()
 	e.Run(2)
-	moved := e.ScaleOutTarget()
+	moved, err := e.ScaleOutTarget()
+	if err != nil {
+		t.Fatalf("ScaleOutTarget: %v", err)
+	}
 	if st.Instances() != 4 {
 		t.Fatalf("instances = %d", st.Instances())
 	}

@@ -63,7 +63,7 @@ func TestStageScaleInMigratesEverything(t *testing.T) {
 	}
 
 	var transferred int64
-	moved := st.ScaleInObserved(func(k tuple.Key, from, to int, size int64) {
+	moved, errScaleIn := st.ScaleInObserved(func(k tuple.Key, from, to int, size int64) {
 		if from != 2 {
 			t.Fatalf("key %d migrated from surviving instance %d during scale-in", k, from)
 		}
@@ -72,6 +72,9 @@ func TestStageScaleInMigratesEverything(t *testing.T) {
 		}
 		transferred += size
 	})
+	if errScaleIn != nil {
+		t.Fatalf("ScaleInObserved: %v", errScaleIn)
+	}
 
 	if st.Instances() != 2 {
 		t.Fatalf("instances = %d after scale-in", st.Instances())
@@ -161,12 +164,12 @@ func TestEngineResizeStageRoundTrip(t *testing.T) {
 	}, cfg, st)
 	defer e.Stop()
 	e.Run(2)
-	if moved := e.ResizeStage(0, +1); moved == 0 {
-		t.Fatal("scale-out moved nothing")
+	if moved, err := e.ResizeStage(0, +1); err != nil || moved == 0 {
+		t.Fatalf("scale-out moved nothing (moved=%d, err=%v)", moved, err)
 	}
 	e.Run(2)
-	if moved := e.ResizeStage(0, -1); moved == 0 {
-		t.Fatal("scale-in moved nothing")
+	if moved, err := e.ResizeStage(0, -1); err != nil || moved == 0 {
+		t.Fatalf("scale-in moved nothing (moved=%d, err=%v)", moved, err)
 	}
 	if st.Instances() != 3 {
 		t.Fatalf("instances = %d after round trip", st.Instances())
@@ -185,19 +188,18 @@ func TestEngineResizeStageRoundTrip(t *testing.T) {
 // TestScaleInGuards pins the failure modes: no assignment router, and
 // a single-instance stage.
 func TestScaleInGuards(t *testing.T) {
-	mustPanic := func(name string, fn func()) {
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("%s did not panic", name)
-			}
-		}()
-		fn()
-	}
 	shuffle := NewStage("sh", 2, func(int) Operator { return Discard }, 1, NewShuffleRouter(2))
 	defer shuffle.Stop()
-	mustPanic("shuffle scale-in", func() { shuffle.ScaleIn() })
+	if _, err := shuffle.ScaleIn(); err == nil {
+		t.Fatal("shuffle scale-in did not error")
+	}
 
 	single := statefulStage(1, 1)
 	defer single.Stop()
-	mustPanic("single-instance scale-in", func() { single.ScaleIn() })
+	if _, err := single.ScaleIn(); err == nil {
+		t.Fatal("single-instance scale-in did not error")
+	}
+	if single.Instances() != 1 {
+		t.Fatalf("failed scale-in changed instance count to %d", single.Instances())
+	}
 }

@@ -3,7 +3,9 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/tuple"
 )
 
@@ -75,10 +77,30 @@ func (e *Engine) batchSpout() SpoutBatch {
 // ends early). Dispatches between the serial path and the feeder
 // fan-out on Cfg.Feeders.
 func (e *Engine) emit(emitN int64) int64 {
+	if e.Cfg.FeedLatency && e.feedHists == nil {
+		n := e.Cfg.Feeders
+		if n < 1 {
+			n = 1
+		}
+		e.feedHists = make([]metrics.LatencyHist, n)
+	}
 	if e.Cfg.Feeders > 1 {
 		return e.emitParallel(emitN)
 	}
 	return e.emitSerial(emitN)
+}
+
+// feedTimed routes one chunk into stage 0, wall-clock timing the feed
+// call into hist when the feed-latency histogram is enabled (hist is
+// owned by the calling feeder; no synchronization needed).
+func (e *Engine) feedTimed(buf []tuple.Tuple, hist *metrics.LatencyHist) {
+	if hist == nil {
+		e.Stages[0].FeedBatch(buf)
+		return
+	}
+	t0 := time.Now()
+	e.Stages[0].FeedBatch(buf)
+	hist.Observe(time.Since(t0))
 }
 
 // emitSerial is the single-feeder emission loop, byte-for-byte the
@@ -88,6 +110,10 @@ func (e *Engine) emitSerial(emitN int64) int64 {
 	sb := e.batchSpout()
 	if cap(e.scratch) < emitChunk {
 		e.scratch = make([]tuple.Tuple, emitChunk)
+	}
+	var hist *metrics.LatencyHist
+	if e.feedHists != nil {
+		hist = &e.feedHists[0]
 	}
 	for j := int64(0); j < emitN; {
 		c := emitN - j
@@ -99,7 +125,7 @@ func (e *Engine) emitSerial(emitN int64) int64 {
 		for i := 0; i < got; i++ {
 			buf[i].EmitTick = e.interval
 		}
-		e.Stages[0].FeedBatch(buf[:got])
+		e.feedTimed(buf[:got], hist)
 		j += int64(got)
 		if int64(got) < c {
 			return j
@@ -144,8 +170,12 @@ func (e *Engine) emitParallel(emitN int64) int64 {
 		if cap(e.feedScratch[f]) < emitChunk {
 			e.feedScratch[f] = make([]tuple.Tuple, emitChunk)
 		}
+		var hist *metrics.LatencyHist
+		if e.feedHists != nil {
+			hist = &e.feedHists[f]
+		}
 		wg.Add(1)
-		go func(sb SpoutBatch, scratch []tuple.Tuple, q int64) {
+		go func(sb SpoutBatch, scratch []tuple.Tuple, q int64, hist *metrics.LatencyHist) {
 			defer wg.Done()
 			for j := int64(0); j < q; {
 				c := q - j
@@ -157,14 +187,14 @@ func (e *Engine) emitParallel(emitN int64) int64 {
 				for i := 0; i < got; i++ {
 					buf[i].EmitTick = interval
 				}
-				e.Stages[0].FeedBatch(buf[:got])
+				e.feedTimed(buf[:got], hist)
 				j += int64(got)
 				total.Add(int64(got))
 				if int64(got) < c {
 					return
 				}
 			}
-		}(e.feedShards[f], e.feedScratch[f], q)
+		}(e.feedShards[f], e.feedScratch[f], q, hist)
 	}
 	wg.Wait()
 	return total.Load()

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,13 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tuple"
 )
+
+// handoffSoftCap bounds a destination task's per-migrating-key handoff
+// buffer: beyond it, arrivals are still kept (correctness) but counted
+// as overflow on the stage, so a migration outliving its buffers is
+// observable instead of silent. One queue depth of headroom per key is
+// far beyond what a per-key transfer window accumulates in practice.
+const handoffSoftCap = taskQueueDepth
 
 // Stage is one logical operator: ND task instances behind a Router.
 // The engine feeds tuples from a single goroutine; task goroutines
@@ -47,6 +55,24 @@ type Stage struct {
 	inflight     atomic.Int64
 	draining     atomic.Bool
 	inflightZero *sync.Cond
+
+	// Pause-free migration state (the default live-migration protocol;
+	// see applyMovesLive). pauseFree selects the wait-free feed paths
+	// and the generation-epoch sequencer over the pause/drain/resume
+	// protocol above. genInflight is a two-slot epoch counter indexed
+	// by assignment generation parity: a feed call increments the slot
+	// of the generation it routed under before sending and decrements
+	// after, so the sequencer's grace period — wait for the *old*
+	// generation's slot to reach zero — proves every tuple routed under
+	// the pre-swap assignment is in its task queue, without feeders
+	// ever taking a lock. migMu serializes migration sequencers (plan
+	// application, scale-out/in state moves); it is never touched by
+	// the feed path. handoffOverflow counts tuples parked beyond
+	// handoffSoftCap across all destination buffers.
+	pauseFree       atomic.Bool
+	genInflight     [2]atomic.Int64
+	migMu           sync.Mutex
+	handoffOverflow atomic.Int64
 
 	// FeedBatch partition scratch, guarded by mu (FeedBatch may be
 	// entered concurrently by the feeder and by Resume's held replay).
@@ -93,10 +119,33 @@ func NewStage(name string, nd int, op func(id int) Operator, w int, router Route
 	}
 	s.inflightZero = sync.NewCond(&s.mu)
 	for i := 0; i < nd; i++ {
-		s.tasks = append(s.tasks, newTask(i, op(i), w))
+		s.tasks = append(s.tasks, newTask(i, op(i), w, s))
 	}
 	return s
 }
+
+// SetPauseFree selects the migration protocol: true (requires an
+// assignment router) routes feeds through the wait-free generation-
+// stamped paths and applies plans with the handoff protocol; false
+// restores the pause/drain/resume oracle. Must be called while the
+// stage is idle (before feeding, or between intervals) — the engine
+// does so at construction time from Config.PauseFree.
+func (s *Stage) SetPauseFree(on bool) error {
+	if on && s.AssignmentRouter() == nil {
+		return fmt.Errorf("engine: stage %q: pause-free migration requires an assignment router", s.Name)
+	}
+	s.pauseFree.Store(on)
+	return nil
+}
+
+// PauseFree reports whether the pause-free migration protocol is
+// selected.
+func (s *Stage) PauseFree() bool { return s.pauseFree.Load() }
+
+// HandoffOverflow returns the cumulative count of tuples parked beyond
+// a migrating key's soft handoff bound — nonzero means a migration ran
+// long enough that a destination buffer outgrew one queue depth.
+func (s *Stage) HandoffOverflow() int64 { return s.handoffOverflow.Load() }
 
 // Instances returns ND.
 func (s *Stage) Instances() int { return len(s.tasks) }
@@ -111,12 +160,17 @@ func (s *Stage) AssignmentRouter() *AssignmentRouter {
 	return ar
 }
 
-// Feed routes one tuple into the stage. Must be called from a single
-// feeding goroutine. Tuples for paused keys are held (the upstream
-// cache of Fig. 5 step 4) and delivered by Resume. FeedBatch is the
-// batch-oriented fast path; Feed remains for tests and fine-grained
-// callers.
+// Feed routes one tuple into the stage. In pause-free mode (the
+// default for assignment-routed stages) the tuple is routed wait-free
+// under the current generation; in pausing mode tuples for paused keys
+// are held (the upstream cache of Fig. 5 step 4) and delivered by
+// Resume. FeedBatch is the batch-oriented fast path; Feed remains for
+// tests and fine-grained callers.
 func (s *Stage) Feed(t tuple.Tuple) {
+	if s.pauseFree.Load() {
+		s.feedLive(s.router.(*AssignmentRouter), t)
+		return
+	}
 	s.mu.Lock()
 	if s.pausedGen.Load() != 0 {
 		if _, p := s.paused[t.Key]; p {
@@ -132,8 +186,126 @@ func (s *Stage) Feed(t tuple.Tuple) {
 	s.mu.Unlock()
 	// Channel send outside the lock: a full task queue must exert
 	// backpressure on the feeder without blocking pause/resume.
-	s.tasks[d].send(t)
+	s.tasks[d].send(t, 0)
 	s.sendDone()
+}
+
+// enterGen is the wait-free feed entry of the pause-free protocol: it
+// pins the caller to the current assignment's generation epoch. The
+// seqlock-style dance — load the assignment, raise the generation's
+// inflight slot, re-check the pointer — guarantees that once a swap is
+// published and the old slot drains to zero, no feed call can still be
+// routing under the old assignment (a racer that loaded it pre-swap
+// either raised the slot before the drain began, or fails the
+// re-check and retries on the new generation). Feeders never block:
+// the loop retries only across a concurrent swap, which migMu makes
+// rare and brief.
+func (s *Stage) enterGen(ar *AssignmentRouter) (*route.Assignment, int) {
+	for {
+		a := ar.Assignment()
+		slot := int(a.Gen() & 1)
+		s.genInflight[slot].Add(1)
+		if ar.Assignment() == a {
+			return a, slot
+		}
+		s.genInflight[slot].Add(-1)
+	}
+}
+
+// feedLive is Feed's pause-free path: no stage mutex, no paused-key
+// probe — route under the pinned generation, account arrivals
+// atomically, send with the generation stamp, release the epoch.
+func (s *Stage) feedLive(ar *AssignmentRouter, t tuple.Tuple) {
+	a, slot := s.enterGen(ar)
+	d := a.Dest(t.Key)
+	atomic.AddInt64(&s.arrivedCost[d], t.Cost)
+	atomic.AddInt64(&s.arrivedTuples[d], 1)
+	s.tasks[d].send(t, a.Gen())
+	s.genInflight[slot].Add(-1)
+}
+
+// liveScratch is the pause-free partition scratch: per-call state from
+// a pool instead of the mu-guarded per-stage fields, since concurrent
+// feeders no longer serialize on anything.
+type liveScratch struct {
+	dst    []int
+	bounds []int
+	off    []int
+	cost   []int64
+}
+
+var liveScratchPool = sync.Pool{New: func() any { return new(liveScratch) }}
+
+// feedBatchLive is FeedBatch's pause-free path: the same
+// partition-into-pooled-buffers scheme, minus the stage mutex and the
+// paused-key branch. The epoch slot is held across the channel sends,
+// so when the migration sequencer observes the old generation's slot
+// at zero, every tuple routed under the old assignment is already in
+// its task's queue — the property the per-key extraction barriers
+// build on.
+func (s *Stage) feedBatchLive(ar *AssignmentRouter, ts []tuple.Tuple) {
+	a, slot := s.enterGen(ar)
+	nd := len(s.tasks)
+	sc := liveScratchPool.Get().(*liveScratch)
+	if cap(sc.dst) < len(ts) {
+		sc.dst = make([]int, len(ts))
+	}
+	dst := sc.dst[:len(ts)]
+	a.DestTuples(ts, dst)
+	if cap(sc.bounds) < nd+1 {
+		sc.bounds = make([]int, nd+1)
+	}
+	bounds := sc.bounds[:nd+1]
+	for i := range bounds {
+		bounds[i] = 0
+	}
+	active := 0
+	for _, d := range dst {
+		bounds[d+1]++
+	}
+	for d := 0; d < nd; d++ {
+		if bounds[d+1] > 0 {
+			active++
+			atomic.AddInt64(&s.arrivedTuples[d], int64(bounds[d+1]))
+		}
+		bounds[d+1] += bounds[d]
+	}
+	bb := batchBufPool.Get().(*batchBuf)
+	if cap(bb.data) < len(ts) {
+		bb.data = make([]tuple.Tuple, len(ts))
+	}
+	bb.refs.Store(int32(active))
+	buf := bb.data[:len(ts)]
+	if cap(sc.off) < nd {
+		sc.off = make([]int, nd)
+	}
+	off := sc.off[:nd]
+	copy(off, bounds[:nd])
+	// Accumulate arrival cost per destination locally and publish one
+	// atomic add per active destination below — an atomic RMW per tuple
+	// here would cost more than the whole routing scatter.
+	if cap(sc.cost) < nd {
+		sc.cost = make([]int64, nd)
+	}
+	cost := sc.cost[:nd]
+	for i := range cost {
+		cost[i] = 0
+	}
+	for i := range ts {
+		d := dst[i]
+		buf[off[d]] = ts[i]
+		off[d]++
+		cost[d] += ts[i].Cost
+	}
+	gen := a.Gen()
+	for d := 0; d < nd; d++ {
+		if lo, hi := bounds[d], bounds[d+1]; hi > lo {
+			atomic.AddInt64(&s.arrivedCost[d], cost[d])
+			s.tasks[d].sendBatch(buf[lo:hi:hi], bb, gen)
+		}
+	}
+	liveScratchPool.Put(sc)
+	s.genInflight[slot].Add(-1)
 }
 
 // sendDone retires one in-flight feed call. The fast path is a single
@@ -159,6 +331,10 @@ func (s *Stage) sendDone() {
 // are held upstream and delivered by Resume.
 func (s *Stage) FeedBatch(ts []tuple.Tuple) {
 	if len(ts) == 0 {
+		return
+	}
+	if s.pauseFree.Load() {
+		s.feedBatchLive(s.router.(*AssignmentRouter), ts)
 		return
 	}
 	s.mu.Lock()
@@ -237,7 +413,7 @@ func (s *Stage) FeedBatch(ts []tuple.Tuple) {
 	// exert backpressure on the feeder without blocking pause/resume.
 	for d := 0; d < nd; d++ {
 		if lo, hi := bounds[d], bounds[d+1]; hi > lo {
-			s.tasks[d].sendBatch(buf[lo:hi:hi], bb)
+			s.tasks[d].sendBatch(buf[lo:hi:hi], bb, 0)
 		}
 	}
 	s.sendDone()
@@ -403,18 +579,31 @@ func (s *Stage) Resume() {
 	s.FeedBatch(held)
 }
 
-// ApplyPlanLive executes a rebalance plan while traffic is flowing:
-// the Fig. 5 sequence with per-key granularity and no global barrier.
-// Migrating keys pause (their tuples held upstream); each key's state
-// is extracted on the source task's goroutine and injected on the
-// destination's via control thunks, so unaffected keys keep processing
-// throughout — the paper's "no interruption of normal processing on
-// the data with keys not covered by Δ(F, F′)". Safe to call from a
-// goroutine other than the feeder.
-func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
+// ApplyPlanLive executes a rebalance plan while traffic is flowing.
+// In pause-free mode (the default) it runs the generation-epoch
+// handoff protocol of applyMovesLive: the hot path never pauses, and
+// p99 feed latency stays flat across the migration. In pausing mode it
+// runs the Fig. 5 sequence with per-key granularity and no global
+// barrier: migrating keys pause (their tuples held upstream), each
+// key's state is extracted on the source task's goroutine and injected
+// on the destination's via control thunks, so unaffected keys keep
+// processing throughout — the paper's "no interruption of normal
+// processing on the data with keys not covered by Δ(F, F′)". Safe to
+// call from a goroutine other than the feeder. Returns an error (no
+// state touched) on a stage without an assignment router.
+func (s *Stage) ApplyPlanLive(plan *balance.Plan) (int64, error) {
+	return s.ApplyPlanLiveObserved(plan, nil)
+}
+
+// ApplyPlanLiveObserved is ApplyPlanLive with a per-key migration
+// observer (nil behaves exactly like ApplyPlanLive).
+func (s *Stage) ApplyPlanLiveObserved(plan *balance.Plan, obs MigrationObserver) (int64, error) {
 	ar := s.AssignmentRouter()
 	if ar == nil {
-		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
+		return 0, fmt.Errorf("engine: stage %q has no assignment router; cannot apply plan", s.Name)
+	}
+	if s.pauseFree.Load() {
+		return s.applyPlanPauseFree(plan, obs, ar), nil
 	}
 	s.PauseKeys(plan.Moved)
 	// Drain in-flight sends: a feed call may have routed tuples under
@@ -460,10 +649,127 @@ func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
 		s.MigPenalty[src] += m.Size
 		s.MigPenalty[dst] += m.Size
 		s.mu.Unlock()
+		if obs != nil {
+			obs(k, src, dst, m.Size)
+		}
 		moved += m.Size
 	}
 	ar.Swap(route.NewAssignment(plan.Table.Clone(), old.Hasher()))
 	s.Resume()
+	return moved, nil
+}
+
+// keyMove is one key's migration edge: src still owns the state, the
+// new assignment routes the key to dst.
+type keyMove struct {
+	k        tuple.Key
+	src, dst int
+}
+
+// applyPlanPauseFree translates a rebalance plan into key moves and
+// runs them through the generation-epoch sequencer, publishing the
+// plan's table as the new assignment.
+func (s *Stage) applyPlanPauseFree(plan *balance.Plan, obs MigrationObserver, ar *AssignmentRouter) int64 {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	old := ar.Assignment()
+	moves := make([]keyMove, 0, len(plan.Moved))
+	for _, k := range plan.Moved {
+		if src, dst := old.Dest(k), plan.MoveDest[k]; src != dst {
+			moves = append(moves, keyMove{k: k, src: src, dst: dst})
+		}
+	}
+	return s.applyMovesLive(route.NewAssignment(plan.Table.Clone(), old.Hasher()), moves, obs, ar)
+}
+
+// applyMovesLive is the pause-free migration sequencer — the epoch
+// protocol that replaces pause/drain/resume. The caller holds migMu
+// (one migration at a time per stage); feeders keep running wait-free
+// throughout. The sequence:
+//
+//  1. Arm: enqueue a control thunk at every destination task opening
+//     empty handoff buffers for the keys it will receive. The thunks
+//     sit in the FIFO input queues *before* the swap below, so they
+//     execute before any tuple routed under the new generation.
+//  2. Swap: publish the new assignment with generation g+1. From this
+//     instant feeders route migrating keys straight to their
+//     destinations, where they park in the handoff buffers.
+//  3. Grace period: spin until genInflight[g&1] reaches zero — every
+//     feed call that routed under generation g has finished its
+//     channel sends, so each source task's queue holds all of its
+//     old-generation tuples (the per-slot watermark that replaces the
+//     pausing path's global inflight drain; only the sequencer waits,
+//     never a feeder).
+//  4. Per key, in plan order: a source barrier — FIFO-ordered after
+//     every old-generation tuple, so the window is complete — extracts
+//     the windowed state and tracker history and marks the key
+//     rerouted (any straggler is forwarded by generation check, not
+//     processed); then a destination barrier injects the state and
+//     replays the handoff buffer in arrival order. No tuple is lost or
+//     double-processed: each lives either before the extraction point
+//     at the source or after the injection point at the destination.
+//  5. Cleanup: retire the straggler guards (by step 3 no matching
+//     tuple can remain in flight; the guard exists for paths outside
+//     the epoch accounting).
+//
+// Returns the migrated state volume. Also used by scale-out/in state
+// moves in pause-free mode, with the resized assignment as next.
+func (s *Stage) applyMovesLive(next *route.Assignment, moves []keyMove, obs MigrationObserver, ar *AssignmentRouter) int64 {
+	if len(moves) == 0 {
+		ar.Swap(next)
+		return 0
+	}
+	perDst := make(map[int][]tuple.Key)
+	for _, mv := range moves {
+		perDst[mv.dst] = append(perDst[mv.dst], mv.k)
+	}
+	for d, keys := range perDst {
+		s.tasks[d].armHandoff(keys)
+	}
+	ar.Swap(next)
+	newGen := next.Gen()
+	oldSlot := int((newGen - 1) & 1)
+	for s.genInflight[oldSlot].Load() != 0 {
+		runtime.Gosched()
+	}
+	var moved int64
+	for _, mv := range moves {
+		mv := mv
+		var m state.Migrated
+		var mem int64
+		src, dst := s.tasks[mv.src], s.tasks[mv.dst]
+		src.barrier(func(ctx *TaskCtx) {
+			m = ctx.Store.Extract(mv.k)
+			mem = ctx.Tracker.WindowedMem(mv.k)
+			ctx.Tracker.DropKey(mv.k)
+			if src.reroute == nil {
+				src.reroute = make(map[tuple.Key]uint64)
+			}
+			src.reroute[mv.k] = newGen
+		})
+		dst.barrier(func(ctx *TaskCtx) {
+			if m.Size > 0 {
+				ctx.Store.Inject(m)
+			}
+			if mem > 0 {
+				ctx.Tracker.AdoptKey(mv.k, mem)
+			}
+			dst.replayHandoff(ctx, mv.k)
+		})
+		s.mu.Lock()
+		s.MigPenalty[mv.src] += m.Size
+		s.MigPenalty[mv.dst] += m.Size
+		s.mu.Unlock()
+		if obs != nil {
+			obs(mv.k, mv.src, mv.dst, m.Size)
+		}
+		moved += m.Size
+	}
+	for _, mv := range moves {
+		mv := mv
+		src := s.tasks[mv.src]
+		src.barrierAsync(func(*TaskCtx) { delete(src.reroute, mv.k) })
+	}
 	return moved
 }
 
@@ -474,21 +780,30 @@ func (s *Stage) ApplyPlanLive(plan *balance.Plan) int64 {
 // step 5 of Fig. 5 as an observable wire event.
 type MigrationObserver = func(k tuple.Key, from, to int, size int64)
 
-// ApplyPlan executes a rebalance plan against live state: pause the
-// migrating keys, move each key's windowed state and statistics from
-// its current owner to the planned destination, install the new routing
-// table, and resume. It returns the total state volume moved. Must be
-// called between Barrier/EndInterval and the next Feed.
-func (s *Stage) ApplyPlan(plan *balance.Plan) int64 {
+// ApplyPlan executes a rebalance plan against live state at hook time
+// (between Barrier/EndInterval and the next Feed): move each key's
+// windowed state and statistics from its current owner to the planned
+// destination and install the new routing table. In pause-free mode
+// the generation-epoch sequencer runs (with idle tasks its handoff
+// buffers stay empty and its grace period is instantaneous, so the
+// effect — and every observable byte of state, statistics and routing
+// — is identical to the pausing oracle); in pausing mode the migrating
+// keys pause and resume around the direct move. Returns the total
+// state volume moved, or an error (no state touched) on a stage
+// without an assignment router.
+func (s *Stage) ApplyPlan(plan *balance.Plan) (int64, error) {
 	return s.ApplyPlanObserved(plan, nil)
 }
 
 // ApplyPlanObserved is ApplyPlan with a per-key migration observer
 // (nil behaves exactly like ApplyPlan).
-func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) int64 {
+func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) (int64, error) {
 	ar := s.AssignmentRouter()
 	if ar == nil {
-		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot apply plan", s.Name))
+		return 0, fmt.Errorf("engine: stage %q has no assignment router; cannot apply plan", s.Name)
+	}
+	if s.pauseFree.Load() {
+		return s.applyPlanPauseFree(plan, obs, ar), nil
 	}
 	s.PauseKeys(plan.Moved)
 	old := ar.Assignment()
@@ -507,7 +822,7 @@ func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) int
 	}
 	ar.Swap(route.NewAssignment(plan.Table.Clone(), old.Hasher()))
 	s.Resume()
-	return moved
+	return moved, nil
 }
 
 // migrateKey moves one key's state and tracker history from task src to
@@ -549,28 +864,29 @@ func (s *Stage) LiveKeys() []tuple.Key {
 // ring. Keys whose overall destination F(k) changes under the new ring
 // have their state migrated immediately so processing stays correct;
 // rebalancing toward θmax is then the controller's job on subsequent
-// intervals (the Fig. 15 scenario). Returns the migrated volume.
-func (s *Stage) ScaleOut() int64 {
+// intervals (the Fig. 15 scenario). Returns the migrated volume, or an
+// error (no state touched) when the stage's router cannot scale.
+func (s *Stage) ScaleOut() (int64, error) {
 	return s.ScaleOutObserved(nil)
 }
 
 // ScaleOutObserved is ScaleOut with a per-key migration observer (nil
 // behaves exactly like ScaleOut). Migrations run in ascending key
 // order so the observed transfer sequence is deterministic.
-func (s *Stage) ScaleOutObserved(obs MigrationObserver) int64 {
+func (s *Stage) ScaleOutObserved(obs MigrationObserver) (int64, error) {
 	ar := s.AssignmentRouter()
 	if ar == nil {
-		panic("engine: ScaleOut requires an assignment router")
+		return 0, fmt.Errorf("engine: stage %q: scale-out requires an assignment router", s.Name)
 	}
 	old := ar.Assignment()
 	ring, ok := old.Hasher().(*hashring.Ring)
 	if !ok {
-		panic("engine: ScaleOut requires a consistent-hash ring hasher")
+		return 0, fmt.Errorf("engine: stage %q: scale-out requires a consistent-hash ring hasher", s.Name)
 	}
 	newHash := ring.Grow()
 
 	id := len(s.tasks)
-	nt := newTask(id, s.opFn(id), s.window)
+	nt := newTask(id, s.opFn(id), s.window, s)
 	// The new instance joins the running interval: it inherits the
 	// pipelined sink and emission tick its siblings got at wiring /
 	// StartInterval time.
@@ -585,7 +901,7 @@ func (s *Stage) ScaleOutObserved(obs MigrationObserver) int64 {
 	// Keep the old routing table; recompute destinations under the new
 	// hash and migrate keys whose effective destination moved.
 	newAsg := route.NewAssignment(old.Table().Clone(), newHash)
-	return s.migrateDelta(old, newAsg, s.LiveKeys(), obs, ar)
+	return s.migrateDelta(old, newAsg, s.LiveKeys(), obs, ar), nil
 }
 
 // ScaleIn retires the stage's last task instance live — the mirror of
@@ -603,25 +919,27 @@ func (s *Stage) ScaleOutObserved(obs MigrationObserver) int64 {
 // decommissioned instance has no future intervals to charge.
 //
 // Must be called while tasks are idle (between EndInterval and the
-// next Feed — controller-hook time). Returns the migrated volume.
-func (s *Stage) ScaleIn() int64 {
+// next Feed — controller-hook time). Returns the migrated volume, or
+// an error (no state touched) when the stage cannot retire an
+// instance.
+func (s *Stage) ScaleIn() (int64, error) {
 	return s.ScaleInObserved(nil)
 }
 
 // ScaleInObserved is ScaleIn with a per-key migration observer (nil
 // behaves exactly like ScaleIn).
-func (s *Stage) ScaleInObserved(obs MigrationObserver) int64 {
+func (s *Stage) ScaleInObserved(obs MigrationObserver) (int64, error) {
 	ar := s.AssignmentRouter()
 	if ar == nil {
-		panic(fmt.Sprintf("engine: stage %q has no assignment router; cannot scale in", s.Name))
+		return 0, fmt.Errorf("engine: stage %q has no assignment router; cannot scale in", s.Name)
 	}
 	if len(s.tasks) < 2 {
-		panic(fmt.Sprintf("engine: stage %q cannot retire its only instance", s.Name))
+		return 0, fmt.Errorf("engine: stage %q cannot retire its only instance", s.Name)
 	}
 	old := ar.Assignment()
 	ring, ok := old.Hasher().(*hashring.Ring)
 	if !ok {
-		panic("engine: ScaleIn requires a consistent-hash ring hasher")
+		return 0, fmt.Errorf("engine: stage %q: scale-in requires a consistent-hash ring hasher", s.Name)
 	}
 	rid := len(s.tasks) - 1
 	retiring := s.tasks[rid]
@@ -673,13 +991,16 @@ func (s *Stage) ScaleInObserved(obs MigrationObserver) int64 {
 	s.Backlog[rid-1] += s.Backlog[rid]
 	s.Backlog = s.Backlog[:rid]
 	s.MigPenalty = s.MigPenalty[:rid]
-	return moved
+	return moved, nil
 }
 
 // migrateDelta migrates every key in keys whose destination differs
 // between old and next (deduplicated, ascending key order so observer
 // sequences are deterministic), then installs next as the stage's live
-// assignment. Tasks must be idle.
+// assignment. Tasks must be idle. In pause-free mode the moves run
+// through the generation-epoch sequencer — scale-out/in reuse the same
+// handoff protocol as plan application, and with idle tasks its effect
+// is identical to the direct move.
 func (s *Stage) migrateDelta(old, next *route.Assignment, keys []tuple.Key, obs MigrationObserver, ar *AssignmentRouter) int64 {
 	seen := make(map[tuple.Key]struct{}, len(keys))
 	uniq := keys[:0]
@@ -690,6 +1011,17 @@ func (s *Stage) migrateDelta(old, next *route.Assignment, keys []tuple.Key, obs 
 		}
 	}
 	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	if s.pauseFree.Load() {
+		moves := make([]keyMove, 0, len(uniq))
+		for _, k := range uniq {
+			if from, to := old.Dest(k), next.Dest(k); from != to {
+				moves = append(moves, keyMove{k: k, src: from, dst: to})
+			}
+		}
+		s.migMu.Lock()
+		defer s.migMu.Unlock()
+		return s.applyMovesLive(next, moves, obs, ar)
+	}
 	var moved int64
 	for _, k := range uniq {
 		from := old.Dest(k)

@@ -68,28 +68,25 @@ func TestRunIntervalAfterStopPanics(t *testing.T) {
 	e.RunInterval()
 }
 
-func TestApplyPlanWithoutAssignmentRouterPanics(t *testing.T) {
+func TestApplyPlanWithoutAssignmentRouterErrors(t *testing.T) {
 	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, NewShuffleRouter(2))
 	defer st.Stop()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ApplyPlan on shuffle stage did not panic")
-		}
-	}()
-	st.ApplyPlan(nil)
+	if _, err := st.ApplyPlan(nil); err == nil {
+		t.Fatal("ApplyPlan on shuffle stage did not error")
+	}
 }
 
-func TestScaleOutWithoutRingPanics(t *testing.T) {
+func TestScaleOutWithoutRingErrors(t *testing.T) {
 	// An assignment router over a non-ring hasher cannot grow.
 	r := NewAssignmentRouter(route.NewAssignment(route.NewTable(), route.ModHasher(2)))
 	st := NewStage("s", 2, func(int) Operator { return Discard }, 1, r)
 	defer st.Stop()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ScaleOut without a ring did not panic")
-		}
-	}()
-	st.ScaleOut()
+	if _, err := st.ScaleOut(); err == nil {
+		t.Fatal("ScaleOut without a ring did not error")
+	}
+	if st.Instances() != 2 {
+		t.Fatalf("failed ScaleOut changed instance count to %d", st.Instances())
+	}
 }
 
 func TestThrottleFloor(t *testing.T) {

@@ -32,18 +32,40 @@ type message struct {
 	t    tuple.Tuple   // single tuple; valid when ts == nil and ctrl == nil
 	ts   []tuple.Tuple // tuple batch; ownership passes to the task
 	buf  *batchBuf     // shared backing of ts, refcounted for recycling
+	gen  uint64        // routing generation the sender resolved under (pause-free mode)
 	ctrl func(*TaskCtx)
 	done chan struct{}
 }
 
 // task is one running instance: a goroutine draining its input channel.
 type task struct {
-	id  int
-	in  chan message
-	ctx *TaskCtx
-	op  Operator
-	opB BatchOperator // non-nil when op implements the batch extension
-	wg  sync.WaitGroup
+	id    int
+	in    chan message
+	ctx   *TaskCtx
+	op    Operator
+	opB   BatchOperator // non-nil when op implements the batch extension
+	stage *Stage        // owning stage, for straggler re-feeds in pause-free mode
+	wg    sync.WaitGroup
+
+	// Pause-free migration state, touched only on the task goroutine
+	// (armed/cleared via ctrl thunks, consulted by the processing loop).
+	//
+	// handoff holds per-migrating-key buffers on a *destination* task:
+	// between the generation swap (which routes the key here) and the
+	// arrival of its windowed state, tuples are parked instead of
+	// processed, then replayed in arrival order once the state is
+	// injected — so nothing is processed against missing state and
+	// nothing is reordered.
+	//
+	// reroute marks keys extracted *away* from this task, with the
+	// generation at which they left: a tuple still stamped with an
+	// older generation is a straggler routed under the pre-swap
+	// assignment and is forwarded through the stage's current router
+	// instead of being processed against state that is no longer here.
+	// Entries are retired by the migration's cleanup thunk once no
+	// old-generation tuple can remain in flight.
+	handoff map[tuple.Key][]tuple.Tuple
+	reroute map[tuple.Key]uint64
 }
 
 // taskQueueDepth sizes each instance's input channel. Deep enough that
@@ -51,13 +73,14 @@ type task struct {
 // exercise real channel backpressure under pathological skew.
 const taskQueueDepth = 4096
 
-func newTask(id int, op Operator, window int) *task {
+func newTask(id int, op Operator, window int, stage *Stage) *task {
 	opB, _ := op.(BatchOperator)
 	t := &task{
-		id:  id,
-		in:  make(chan message, taskQueueDepth),
-		op:  op,
-		opB: opB,
+		id:    id,
+		in:    make(chan message, taskQueueDepth),
+		op:    op,
+		opB:   opB,
+		stage: stage,
 		ctx: &TaskCtx{
 			ID:      id,
 			Store:   state.NewStore(window),
@@ -79,19 +102,35 @@ func (t *task) loop() {
 				close(m.done)
 			}
 		case m.ts != nil:
-			if t.opB != nil {
-				t.opB.ProcessBatch(t.ctx, m.ts)
-			} else {
-				for i := range m.ts {
-					t.op.Process(t.ctx, m.ts[i])
-				}
+			ts := m.ts
+			if len(t.handoff)+len(t.reroute) != 0 {
+				ts = t.divert(ts, m.gen)
 			}
-			t.ctx.ProcessedCost += t.ctx.Tracker.ObserveBatch(m.ts)
-			t.ctx.ProcessedTuples += int64(len(m.ts))
+			if len(ts) > 0 {
+				if t.opB != nil {
+					t.opB.ProcessBatch(t.ctx, ts)
+				} else {
+					for i := range ts {
+						t.op.Process(t.ctx, ts[i])
+					}
+				}
+				t.ctx.ProcessedCost += t.ctx.Tracker.ObserveBatch(ts)
+				t.ctx.ProcessedTuples += int64(len(ts))
+			}
 			if m.buf != nil && m.buf.refs.Add(-1) == 0 {
 				batchBufPool.Put(m.buf)
 			}
 		default:
+			if len(t.handoff)+len(t.reroute) != 0 {
+				if buf, ok := t.handoff[m.t.Key]; ok {
+					t.bufferHandoff(buf, m.t)
+					continue
+				}
+				if _, ok := t.reroute[m.t.Key]; ok {
+					t.stage.Feed(m.t)
+					continue
+				}
+			}
 			t.op.Process(t.ctx, m.t)
 			t.ctx.Tracker.Observe(m.t)
 			t.ctx.ProcessedTuples++
@@ -100,14 +139,113 @@ func (t *task) loop() {
 	}
 }
 
+// divert is the pause-free migration slow path, entered only while a
+// migration has keys armed or rerouted on this task. It compacts ts in
+// place to the tuples this task should process now: tuples for armed
+// keys are parked in their handoff buffer (replayed after state
+// injection), tuples for keys that migrated away are forwarded through
+// the stage's current router — the generation check that makes
+// old-generation stragglers land on the key's new owner instead of
+// being processed against extracted state. Runs on the task goroutine;
+// handoff/reroute need no locks.
+func (t *task) divert(ts []tuple.Tuple, gen uint64) []tuple.Tuple {
+	keep := ts[:0]
+	var fwd []tuple.Tuple
+	for i := range ts {
+		k := ts[i].Key
+		if buf, ok := t.handoff[k]; ok {
+			t.bufferHandoff(buf, ts[i])
+			continue
+		}
+		if left, ok := t.reroute[k]; ok && gen < left {
+			fwd = append(fwd, ts[i])
+			continue
+		} else if ok {
+			// A tuple stamped at or after the generation that moved k
+			// away cannot have been routed here by that assignment;
+			// forward it too rather than process against absent state.
+			fwd = append(fwd, ts[i])
+			continue
+		}
+		keep = append(keep, ts[i])
+	}
+	if len(fwd) > 0 {
+		// Re-feed through the stage: the current assignment routes these
+		// keys to their post-migration owner (never back here — reroute
+		// entries are cleared before any assignment could move the key
+		// home again, so forwarding cannot cycle).
+		t.stage.FeedBatch(fwd)
+	}
+	return keep
+}
+
+// bufferHandoff parks one tuple in key k's handoff buffer. The buffer
+// is bounded softly: beyond handoffSoftCap the overflow is counted on
+// the stage (observable backpressure signal) but the tuple is still
+// kept — dropping would lose data, and blocking on the task goroutine
+// would deadlock against the state-injection thunk queued behind us.
+func (t *task) bufferHandoff(buf []tuple.Tuple, tp tuple.Tuple) {
+	if len(buf) >= handoffSoftCap {
+		t.stage.handoffOverflow.Add(1)
+	}
+	t.handoff[tp.Key] = append(buf, tp)
+}
+
+// armHandoff enqueues the control thunk that opens empty handoff
+// buffers for keys on this (destination) task. The migration sequencer
+// calls it *before* swapping the routing generation: channel FIFO then
+// guarantees the buffers exist before the first new-generation tuple
+// for any of these keys is dequeued.
+func (t *task) armHandoff(keys []tuple.Key) {
+	t.in <- message{ctrl: func(*TaskCtx) {
+		if t.handoff == nil {
+			t.handoff = make(map[tuple.Key][]tuple.Tuple)
+		}
+		for _, k := range keys {
+			if _, ok := t.handoff[k]; !ok {
+				t.handoff[k] = nil
+			}
+		}
+	}}
+}
+
+// replayHandoff drains and retires key k's handoff buffer through the
+// operator, in arrival order, with full tracker and processed-work
+// accounting — the tuples the destination parked while the key's state
+// was still in flight. Must run on the task goroutine (the migration
+// sequencer invokes it from the state-injection barrier thunk).
+func (t *task) replayHandoff(ctx *TaskCtx, k tuple.Key) {
+	buf, ok := t.handoff[k]
+	if !ok {
+		return
+	}
+	delete(t.handoff, k)
+	if len(buf) == 0 {
+		return
+	}
+	if t.opB != nil {
+		t.opB.ProcessBatch(ctx, buf)
+	} else {
+		for i := range buf {
+			t.op.Process(ctx, buf[i])
+		}
+	}
+	ctx.ProcessedCost += ctx.Tracker.ObserveBatch(buf)
+	ctx.ProcessedTuples += int64(len(buf))
+}
+
 // send enqueues a tuple.
-func (t *task) send(tp tuple.Tuple) { t.in <- message{t: tp} }
+func (t *task) send(tp tuple.Tuple, gen uint64) { t.in <- message{t: tp, gen: gen} }
 
 // sendBatch enqueues a batch; the slice must not be touched by the
 // sender afterwards (ownership transfers to the task goroutine). buf,
 // when non-nil, is the recycled backing array the batch was carved
-// from; the task decrements its refcount after processing.
-func (t *task) sendBatch(ts []tuple.Tuple, buf *batchBuf) { t.in <- message{ts: ts, buf: buf} }
+// from; the task decrements its refcount after processing. gen is the
+// routing generation the sender resolved the batch under (0 on the
+// legacy pausing path, which never consults it).
+func (t *task) sendBatch(ts []tuple.Tuple, buf *batchBuf, gen uint64) {
+	t.in <- message{ts: ts, buf: buf, gen: gen}
+}
 
 // barrier runs fn on the task goroutine and waits for it; fn == nil is
 // a pure drain barrier. After barrier returns, the caller may touch

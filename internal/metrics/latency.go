@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a fixed-size log2-bucketed latency histogram: bucket
+// b counts observations in [2^(b−1), 2^b) nanoseconds. Sixty-four
+// buckets cover every representable duration, Observe is two adds and
+// a bit-scan (cheap enough to sit on the feed hot path), and the
+// zero value is ready to use. Not safe for concurrent observers; the
+// engine keeps one per feeder goroutine and merges at interval end.
+type LatencyHist struct {
+	n       uint64
+	buckets [64]uint64
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bits.Len64(ns)&63]++
+	h.n++
+}
+
+// Merge folds o's samples into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.n += o.n
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.n }
+
+// Reset clears the histogram for reuse.
+func (h *LatencyHist) Reset() { *h = LatencyHist{} }
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as a duration, taking
+// the geometric midpoint of the containing bucket — the usual estimator
+// for log-spaced buckets, exact to within a factor of √2. Returns 0 on
+// an empty histogram.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			// Bucket b spans [2^(b−1), 2^b); geometric midpoint
+			// 2^(b−0.5) = 2^(b−1)·√2.
+			return time.Duration(float64(uint64(1)<<(b-1)) * math.Sqrt2)
+		}
+	}
+	return 0
+}
+
+// QuantileUs is Quantile in (fractional) microseconds, the unit the
+// Interval series reports.
+func (h *LatencyHist) QuantileUs(q float64) float64 {
+	return float64(h.Quantile(q).Nanoseconds()) / 1e3
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.99) != 0 || h.QuantileUs(0.5) != 0 {
+		t.Fatal("empty histogram must report zero quantiles")
+	}
+	// 99 samples near 1µs, one near 1ms: p50 sits in the 1µs bucket,
+	// p99 still does, p100 lands in the outlier's bucket.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	// A log2 bucket is exact to within √2 of its geometric midpoint.
+	within := func(got, want time.Duration) bool {
+		lo := float64(want) / 1.5
+		hi := float64(want) * 1.5
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	if q := h.Quantile(0.50); !within(q, time.Microsecond) {
+		t.Fatalf("p50 = %v, want ~1µs", q)
+	}
+	if q := h.Quantile(0.99); !within(q, time.Microsecond) {
+		t.Fatalf("p99 = %v, want ~1µs (the outlier is the 100th sample)", q)
+	}
+	if q := h.Quantile(1.0); !within(q, time.Millisecond) {
+		t.Fatalf("p100 = %v, want ~1ms", q)
+	}
+	if us := h.QuantileUs(0.50); us < 0.6 || us > 1.6 {
+		t.Fatalf("QuantileUs(0.5) = %v, want ~1", us)
+	}
+}
+
+func TestLatencyHistMergeReset(t *testing.T) {
+	var a, b LatencyHist
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Fatalf("merged Count = %d, want 20", a.Count())
+	}
+	// Half the mass is at ~1ms, so p75 must sit in the millisecond
+	// bucket while p50 stays at the microsecond one.
+	if p50, p75 := a.Quantile(0.50), a.Quantile(0.75); p75 < 100*p50 {
+		t.Fatalf("p50 = %v, p75 = %v: merge lost the millisecond mass", p50, p75)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.99) != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}

@@ -112,6 +112,12 @@ type Assignment struct {
 	// interval) skips the map probe entirely on the per-tuple path. The
 	// cache is sound because wrapped tables are immutable snapshots.
 	empty bool
+	// gen is the publication generation: a counter the publishing
+	// router stamps before the atomic pointer swap that makes this
+	// assignment live, so feeders can tag every routed batch with the
+	// routing epoch it was resolved under — the wait-free migration
+	// protocol's double-delivery guard. 0 until stamped.
+	gen uint64
 }
 
 // NewAssignment pairs a routing table with a hasher. A nil table is
@@ -191,6 +197,16 @@ func (a *Assignment) DestTuples(ts []tuple.Tuple, dsts []int) {
 
 // HashDest evaluates the hash half h(k) regardless of the table.
 func (a *Assignment) HashDest(k tuple.Key) int { return a.hash.Hash(k) }
+
+// Gen returns the publication generation stamped by the router that
+// made this assignment live (0 for assignments never published).
+func (a *Assignment) Gen() uint64 { return a.gen }
+
+// StampGen records the publication generation. It is called exactly
+// once by the publishing router, before the atomic store that makes
+// the assignment visible to feeders — never after publication, which
+// would race with wait-free readers.
+func (a *Assignment) StampGen(g uint64) { a.gen = g }
 
 // Table returns the underlying routing table (callers must not mutate).
 func (a *Assignment) Table() *Table { return a.table }

@@ -17,7 +17,10 @@
 // Topologies with two or more stages run the streaming inter-stage
 // pipeline by default (stage s+1 consumes while stage s is still
 // processing); StoreAndForward selects the legacy barrier transfer,
-// which the equivalence tests pin against. Every stage may carry its
+// which the equivalence tests pin against. Assignment-routed stages
+// likewise migrate pause-free by default (generation-stamped routing,
+// no feed pause; see engine.Config.PauseFree), with PausingMigration
+// selecting the pausing oracle. Every stage may carry its
 // own control loop — the builder assembles the stage's policies (the
 // algorithm-derived rebalance controller plus any WithPolicy
 // additions, e.g. longterm.AutoScaler) into one control.Loop per
@@ -229,6 +232,16 @@ func WireControl() Option {
 	return func(b *Builder) { b.wire = true }
 }
 
+// PausingMigration opts the whole topology out of pause-free live
+// migration: assignment-routed stages fall back to the legacy
+// pause → drain → migrate → resume sequence for every applied plan.
+// The pausing path is the pinned equivalence oracle the pause-free
+// default is tested against (engine.Config.PauseFree), the same role
+// StoreAndForward plays for the streaming pipeline.
+func PausingMigration() Option {
+	return func(b *Builder) { b.ecfg.PauseFree = false }
+}
+
 // AdvanceEach installs a per-interval workload callback
 // (engine.AdvanceWorkload): fn runs after every interval so generators
 // can fluctuate or shift their distributions.
@@ -244,6 +257,7 @@ type stageSpec struct {
 	window    int
 	alg       Algorithm
 	router    engine.Router
+	routerFn  func(nd int) engine.Router
 	planner   balance.Planner
 	plannerOn bool // WithPlanner given (overrides the alg-derived one)
 	theta     float64
@@ -294,6 +308,27 @@ func WithAlgorithm(a Algorithm) StageOption { return func(s *stageSpec) { s.alg 
 // algorithm-derived one. Unlike WithAlgorithm(AlgPKG), a raw PKG
 // router carries no capacity or latency model adjustments.
 func WithRouter(r engine.Router) StageOption { return func(s *stageSpec) { s.router = r } }
+
+// WithRouterFactory installs a router constructor resolved at Build
+// time with the stage's resolved instance count — unlike WithRouter,
+// the caller does not repeat the Instances value (or the DefInstances
+// default) when constructing the router by hand. An explicit
+// WithRouter wins if both are given.
+func WithRouterFactory(f func(nd int) engine.Router) StageOption {
+	return func(s *stageSpec) { s.routerFn = f }
+}
+
+// PKGRouting selects split-key partial routing (load-aware
+// two-choice, pkgpart) for this stage, sized to the stage's resolved
+// instance count. It is the builder-native form of hand-wiring
+// engine.PKGRouter via WithRouter, and — like WithRouter — carries no
+// capacity or latency model adjustments; use WithAlgorithm(AlgPKG)
+// on the target stage for the paper-calibrated PKG cost model.
+func PKGRouting() StageOption {
+	return WithRouterFactory(func(nd int) engine.Router {
+		return engine.PKGRouter{R: pkgpart.NewRouter(nd)}
+	})
+}
 
 // WithPlanner installs an explicit rebalance planner for the stage's
 // controller, overriding the algorithm-derived one. Pass nil to
@@ -461,6 +496,9 @@ func (b *Builder) Build() *System {
 	stages := make([]*engine.Stage, len(b.stages))
 	for si, s := range b.stages {
 		r := s.router
+		if r == nil && s.routerFn != nil {
+			r = s.routerFn(s.instances)
+		}
 		if r == nil {
 			r = RouterFor(s.alg, s.instances)
 		}

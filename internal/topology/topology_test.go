@@ -197,8 +197,10 @@ func TestBuilderQ5MatchesHandWired(t *testing.T) {
 }
 
 // TestBuilderPKGMatchesHandWired pins the PKG partial→merge topology:
-// split-key routing via an explicit router, the IntervalFlusher
-// emission path, and a keyed merge stage.
+// builder-native split-key routing (PKGRouting, resolved to the
+// stage's instance count at Build time), the IntervalFlusher emission
+// path, and a keyed merge stage — bit-identical to hand-wiring
+// engine.PKGRouter over pkgpart directly.
 func TestBuilderPKGMatchesHandWired(t *testing.T) {
 	const intervals = 5
 	mkSpout := func() engine.Spout {
@@ -229,7 +231,7 @@ func TestBuilderPKGMatchesHandWired(t *testing.T) {
 		topology.MigrationFactor(1),
 	).Stage("partial", bParts.Factory,
 		topology.Instances(3),
-		topology.WithRouter(engine.PKGRouter{R: pkgpart.NewRouter(3)}),
+		topology.PKGRouting(),
 	).Stage("merge", bMerges.Factory,
 		topology.Instances(2),
 	).Build()
@@ -381,5 +383,33 @@ func TestStageNamedAndControllerNamed(t *testing.T) {
 	}
 	if sys.ControllerNamed("b") != nil {
 		t.Fatal("stage b has no algorithm and should carry no controller")
+	}
+}
+
+// TestPauseFreeDefaults pins the migration-mode defaulting:
+// assignment-routed stages come up pause-free, router families without
+// an assignment (shuffle) stay on the legacy path, and
+// PausingMigration opts the whole topology back onto the pausing
+// oracle.
+func TestPauseFreeDefaults(t *testing.T) {
+	op := func(int) engine.Operator { return engine.Discard }
+	def := topology.New().
+		Stage("a", op, topology.Instances(2)).
+		Stage("sh", op, topology.Instances(2), topology.WithRouter(engine.NewShuffleRouter(2))).
+		Build()
+	defer def.Stop()
+	if !def.Stage(0).PauseFree() {
+		t.Fatal("assignment-routed stage did not default to pause-free migration")
+	}
+	if def.Stage(1).PauseFree() {
+		t.Fatal("shuffle stage claims pause-free migration")
+	}
+
+	pausing := topology.New(topology.PausingMigration()).
+		Stage("a", op, topology.Instances(2)).
+		Build()
+	defer pausing.Stop()
+	if pausing.Stage(0).PauseFree() {
+		t.Fatal("PausingMigration did not disable pause-free migration")
 	}
 }
