@@ -3,8 +3,10 @@
 GO ?= go
 # Spout parallelism for bench-dataplane (the scaling-curve knob).
 FEEDERS ?= 1
+# Zipf skews for the hot-key splitting sweep (split on vs off each).
+THETAS ?= 0.99,1.2,1.5
 
-.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control exhibits smoke-examples
+.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control bench-hotkey exhibits smoke-examples
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -27,9 +29,10 @@ bench:
 
 ## bench-dataplane: write BENCH_dataplane.json (tuples/sec trajectory),
 ## printing old-vs-new when the file already exists. FEEDERS=N fans the
-## engine measurements out to N spout goroutines.
+## engine measurements out to N spout goroutines; THETAS drives the
+## hot-key splitting sweep (each skew measured split-off and split-on).
 bench-dataplane:
-	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS)
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -theta $(THETAS)
 
 ## bench-multistage: the dataplane report plus the 2-stage end-to-end
 ## benchmark (store-and-forward vs streaming pipeline transfer).
@@ -45,6 +48,12 @@ bench-multistage:
 ## the pause-free protocol's p99 must stay flat across a rebalance.
 bench-control:
 	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval|RebalanceLatency' -benchtime 1s ./internal/control/
+
+## bench-hotkey: just the hot-key splitting θ-sweep (split on vs off at
+## each skew, tuples/sec + worst-interval feed p50/p99 + max split
+## keys), written into BENCH_dataplane.json's hotkey_sweep section.
+bench-hotkey:
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -theta $(THETAS)
 
 ## exhibits: regenerate every paper exhibit. PIPELINE=1 runs them with
 ## streaming inter-stage transfer (key-partitioned exhibit outputs do

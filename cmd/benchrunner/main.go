@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -64,6 +65,7 @@ func main() {
 		feeders    = flag.Int("feeders", 1, "spout parallelism for the -dataplane engine measurements (the scaling-curve knob)")
 		multistage = flag.Bool("multistage", false, "with -dataplane: also benchmark a 2-stage topology end to end, store-and-forward vs pipelined transfer")
 		msBudget   = flag.Int64("msbudget", 20000, "per-interval spout budget for the -multistage benchmark (CI smoke uses a tiny value)")
+		thetas     = flag.String("theta", "", "with -dataplane: comma-separated Zipf skews for the hot-key sweep; each θ is measured split-off and split-on (e.g. 0.99,1.2,1.5)")
 		pipeline   = flag.Bool("pipeline", false, "run the exhibits with streaming inter-stage transfer (outputs match the default store-and-forward run on key-partitioned stages; fig01's shuffle stages may interleave on multicore)")
 	)
 	flag.Parse()
@@ -75,9 +77,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrunner: -msbudget must be ≥ 1 (got %d)\n", *msBudget)
 		os.Exit(2)
 	}
+	var sweep []float64
+	if *thetas != "" {
+		for _, f := range strings.Split(*thetas, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad -theta value %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, v)
+		}
+	}
 	experiments.SetPipeline(*pipeline)
 	if *dataplane != "" {
-		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget); err != nil {
+		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget, sweep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -145,8 +158,26 @@ type dataplaneReport struct {
 	// FeedLatencyUs records the engine_interval run's wall-clock
 	// FeedBatch-call latency quantiles in µs (engine.Config.FeedLatency
 	// histograms, worst interval), the steady-state companion to the
-	// rebalance-latency comparison in `make bench-control`.
-	FeedLatencyUs map[string]float64 `json:"feed_latency_us,omitempty"`
+	// rebalance-latency comparison in `make bench-control`. Always
+	// present (p50/p99 keys, zero when the run recorded no samples).
+	FeedLatencyUs map[string]float64 `json:"feed_latency_us"`
+	// Sweep holds the hot-key θ sweep (-theta): each Zipf skew measured
+	// with hot-key splitting off and on, so the report records where
+	// per-key replication starts to pay on this host.
+	Sweep []sweepPoint `json:"hotkey_sweep,omitempty"`
+}
+
+// sweepPoint is one (θ, split on/off) measurement of the hot-key
+// sweep: end-to-end engine throughput plus the worst-interval feed
+// latency quantiles, and the high-water mark of concurrently split
+// keys (always 0 when Split is false).
+type sweepPoint struct {
+	Theta        float64 `json:"theta"`
+	Split        bool    `json:"split"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	FeedP50Us    float64 `json:"feed_p50_us"`
+	FeedP99Us    float64 `json:"feed_p99_us"`
+	SplitKeysMax int     `json:"split_keys_max"`
 }
 
 // readDataplaneReport loads a previously written report, for the
@@ -177,7 +208,7 @@ func readDataplaneReport(path string) (*dataplaneReport, error) {
 // multistage_interval = streaming pipeline). When the target file
 // already holds a report, the old numbers are printed next to the new
 // ones so perf PRs can quote the trajectory directly.
-func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64) error {
+func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64, sweep []float64) error {
 	// The Feed/FeedBatch micro-measurements drive one stage directly
 	// (no spout, no intervals); the builder still declares it, and
 	// stopping the stage stops every goroutine the topology owns.
@@ -200,11 +231,12 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		return err
 	}
 	report := dataplaneReport{
-		Schema:       "dataplane-v3",
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		Feeders:      feeders,
-		TuplesPerSec: map[string]float64{},
+		Schema:        "dataplane-v4",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Feeders:       feeders,
+		TuplesPerSec:  map[string]float64{},
+		FeedLatencyUs: map[string]float64{"p50": 0, "p99": 0},
 	}
 
 	feed := testing.Benchmark(func(b *testing.B) {
@@ -310,7 +342,7 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 	})
 	report.TuplesPerSec["tracker_observe_batch"] = perTuple(ob)
 
-	engineRate := func(nFeeders int) float64 {
+	engineRate := func(nFeeders int) (rate, p50, p99 float64) {
 		var emittedTotal int64
 		ei := testing.Benchmark(func(b *testing.B) {
 			gen := workload.NewZipfStream(10000, 0.85, 0, 10000, 17)
@@ -326,22 +358,69 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 			b.StopTimer()
 			// Count what was actually emitted: backpressure can throttle
 			// intervals below Budget, and the trajectory metric must not
-			// report tuples that never flowed.
-			emittedTotal = 0
+			// report tuples that never flowed. Quantiles reset per
+			// benchmark invocation — only the final (longest) run's worst
+			// interval is reported.
+			emittedTotal, p50, p99 = 0, 0, 0
 			for _, m := range sys.Recorder().Series {
 				emittedTotal += m.Emitted
-				if m.FeedP99Us > report.FeedLatencyUs["p99"] {
-					report.FeedLatencyUs["p50"] = m.FeedP50Us
-					report.FeedLatencyUs["p99"] = m.FeedP99Us
+				if m.FeedP99Us > p99 {
+					p50, p99 = m.FeedP50Us, m.FeedP99Us
 				}
 			}
 		})
-		return float64(emittedTotal) / ei.T.Seconds()
+		return float64(emittedTotal) / ei.T.Seconds(), p50, p99
 	}
-	report.FeedLatencyUs = map[string]float64{}
-	report.TuplesPerSec["engine_interval"] = engineRate(1)
+	rate, p50, p99 := engineRate(1)
+	report.TuplesPerSec["engine_interval"] = rate
+	report.FeedLatencyUs["p50"], report.FeedLatencyUs["p99"] = p50, p99
 	if feeders > 1 {
-		report.TuplesPerSec["engine_interval_feeders"] = engineRate(feeders)
+		rate, _, _ = engineRate(feeders)
+		report.TuplesPerSec["engine_interval_feeders"] = rate
+	}
+
+	// The hot-key θ sweep: one single-stage topology per (θ, split)
+	// point under extreme Zipf skew, identical seeds, so the split-on
+	// vs split-off delta isolates the per-key replication machinery.
+	// The detector splits at most 4 keys once one key's interval cost
+	// reaches the per-task capacity.
+	for _, theta := range sweep {
+		for _, split := range []bool{false, true} {
+			pt := sweepPoint{Theta: theta, Split: split}
+			var emittedTotal int64
+			r := testing.Benchmark(func(b *testing.B) {
+				gen := workload.NewZipfStream(10000, theta, 0, 10000, 17)
+				sOpts := []topology.StageOption{
+					topology.Instances(10),
+					topology.WithAlgorithm(topology.AlgMixed),
+					topology.MinKeys(64),
+				}
+				if split {
+					sOpts = append(sOpts, topology.HotKeySplit(4, 1.0))
+				}
+				sys := topology.New(
+					topology.SpoutBatch(gen.NextBatch),
+					topology.Budget(10000),
+				).Stage("hot", func(int) engine.Operator { return engine.StatefulCount }, sOpts...).Build()
+				defer sys.Stop()
+				sys.Engine.Cfg.FeedLatency = true
+				b.ResetTimer()
+				sys.Run(b.N)
+				b.StopTimer()
+				emittedTotal, pt.FeedP50Us, pt.FeedP99Us = 0, 0, 0
+				for _, m := range sys.Recorder().Series {
+					emittedTotal += m.Emitted
+					if m.FeedP99Us > pt.FeedP99Us {
+						pt.FeedP50Us, pt.FeedP99Us = m.FeedP50Us, m.FeedP99Us
+					}
+				}
+				if sp := sys.Splitter(0); sp != nil {
+					pt.SplitKeysMax = sp.MaxActive
+				}
+			})
+			pt.TuplesPerSec = float64(emittedTotal) / r.T.Seconds()
+			report.Sweep = append(report.Sweep, pt)
+		}
 	}
 
 	// The 2-stage topology end to end: a keyed forwarding map feeding a
@@ -430,9 +509,28 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		}
 		fmt.Printf("  %-24s %14.0f tuples/sec\n", k, v)
 	}
-	if p99 := report.FeedLatencyUs["p99"]; p99 > 0 {
-		fmt.Printf("  %-24s p50 %.1f µs, p99 %.1f µs (worst interval, engine_interval run)\n",
-			"feed_latency", report.FeedLatencyUs["p50"], p99)
+	fmt.Printf("  %-24s p50 %.1f µs, p99 %.1f µs (worst interval, engine_interval run)\n",
+		"feed_latency", report.FeedLatencyUs["p50"], report.FeedLatencyUs["p99"])
+	for _, pt := range report.Sweep {
+		mode := "off"
+		if pt.Split {
+			mode = "on "
+		}
+		line := fmt.Sprintf("  hotkey θ=%-5.2f split=%s %11.0f tuples/sec  feed p50 %.1f µs p99 %.1f µs",
+			pt.Theta, mode, pt.TuplesPerSec, pt.FeedP50Us, pt.FeedP99Us)
+		if pt.Split {
+			line += fmt.Sprintf("  (max %d keys split)", pt.SplitKeysMax)
+		}
+		if comparable {
+			for _, old := range baseline.Sweep {
+				if old.Theta == pt.Theta && old.Split == pt.Split && old.TuplesPerSec > 0 {
+					line += fmt.Sprintf("  (was %.0f, %+.1f%%)",
+						old.TuplesPerSec, 100*(pt.TuplesPerSec-old.TuplesPerSec)/old.TuplesPerSec)
+					break
+				}
+			}
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

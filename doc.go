@@ -134,6 +134,25 @@
 // records a per-feeder latency histogram (metrics.LatencyHist) merged
 // into metrics.Interval.FeedP50Us/FeedP99Us.
 //
+// # Hot-key splitting
+//
+// Migration moves whole keys, so a single viral key still caps at one
+// task's speed. topology.HotKeySplit(maxKeys, threshold) arms a
+// per-stage contention detector (stats.HotKeyDetector: bounded top-k
+// heap over the tracker, entry at threshold × per-task capacity,
+// hysteresis exit) whose split set travels as a SplitAnnounce protocol
+// message. A split key's tuples fan round-robin across a replica set;
+// replicas absorb commutative deltas through the engine.SplitFolder
+// contract (SplitAbsorb on the replica, SplitMerge at the home) and
+// every cell folds back into the key's home task at interval close —
+// before snapshots, metrics or downstream flushes — so all observables
+// are pinned bit-identical to the unsplit run. Split keys are pinned
+// against rebalance plans (controller guardSplit + stage backstop,
+// both counting SplitPinned), transitions ride the pause-free
+// machinery, and Build panics if combined with PausingMigration().
+// examples/viralkey demonstrates a flash crowd; make bench-hotkey
+// records the θ-sweep in BENCH_dataplane.json.
+//
 // See README.md for the architecture tour; per-exhibit interpretation
 // against the published shapes lives with the runners in
 // internal/experiments.

@@ -6,17 +6,17 @@
 // describes and §VII's future work calls for (one mechanism covering
 // both short-term fluctuations and long-term shifts, cf. DRS):
 //
-//	          stage side (Executor)            controller side (Loop server)
-//	   ┌──────────────────────────┐  LoadReport ┌──────────────────────────┐
-//	 1 │ interval snapshot split  │────────────▶│ merge reports → snapshot │
-//	   │ into per-task reports    │   (×ND)     │ Policy.Decide → Commands │ 2
-//	   │                          │ PlanAnnounce│                          │
-//	 4 │ pause·migrate per key    │◀────────────│ Rebalance{Plan}          │ 3
-//	   │  └▶ StateTransfer (×Δ)   │────────────▶│   or ScaleOut / ScaleIn  │
-//	 5 │ Ack when applied         │────────────▶│   as Resize{±1}          │
-//	   │                          │   Resume    │                          │
-//	 7 │ resume normal processing │◀────────────│ round closed             │ 6
-//	   └──────────────────────────┘             └──────────────────────────┘
+//	         stage side (Executor)            controller side (Loop server)
+//	  ┌──────────────────────────┐  LoadReport ┌──────────────────────────┐
+//	1 │ interval snapshot split  │────────────▶│ merge reports → snapshot │
+//	  │ into per-task reports    │   (×ND)     │ Policy.Decide → Commands │ 2
+//	  │                          │ PlanAnnounce│                          │
+//	4 │ pause·migrate per key    │◀────────────│ Rebalance{Plan}          │ 3
+//	  │  └▶ StateTransfer (×Δ)   │────────────▶│   or ScaleOut / ScaleIn  │
+//	5 │ Ack when applied         │────────────▶│   as Resize{±1}          │
+//	  │                          │   Resume    │                          │
+//	7 │ resume normal processing │◀────────────│ round closed             │ 6
+//	  └──────────────────────────┘             └──────────────────────────┘
 //
 // Policies (rebalance controllers, autoscalers) are pure deciders:
 // they consume one interval's snapshot plus the stage context Env and
@@ -33,6 +33,7 @@ package control
 import (
 	"repro/internal/balance"
 	"repro/internal/stats"
+	"repro/internal/tuple"
 )
 
 // Command is one typed instruction a Policy emits for its stage's
@@ -53,9 +54,24 @@ type ScaleOut struct{}
 // statistics migrate to the surviving instances.
 type ScaleIn struct{}
 
+// SplitSpec is one hot key's split directive: replicate its tuples
+// across Fan task instances until folded back.
+type SplitSpec struct {
+	Key tuple.Key
+	Fan int
+}
+
+// SetSplit publishes the complete hot-key split set for the stage:
+// keys present become (or stay) split at the given fan, keys absent
+// fold back into their home task. Emitted by the contention detector
+// (controller.Splitter); the executor applies it through the stage's
+// pause-free arm/swap/fold machinery.
+type SetSplit struct{ Set []SplitSpec }
+
 func (Rebalance) isCommand() {}
 func (ScaleOut) isCommand()  {}
 func (ScaleIn) isCommand()   {}
+func (SetSplit) isCommand()  {}
 
 // Env is the stage context a Policy decides under — everything beyond
 // the snapshot itself, reconstructed on the controller side purely
@@ -82,6 +98,11 @@ type Env struct {
 	// gate ScaleOut/ScaleIn on it, so "applied" histories never count
 	// a command the executor would have to reject.
 	Resizable bool
+	// SplitKeys lists the stage's currently split hot keys (ascending,
+	// nil when none). The rebalance guard pins these keys to their home
+	// so a plan never tries to migrate a key whose state is spread
+	// across replicas mid-interval.
+	SplitKeys []tuple.Key
 }
 
 // Policy consumes one interval's merged statistics snapshot plus the

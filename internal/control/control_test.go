@@ -146,7 +146,7 @@ func TestSnapshotWireRoundTrip(t *testing.T) {
 	if len(snap.Keys) == 0 {
 		t.Fatal("empty oracle snapshot")
 	}
-	reports := protocol.ReportsFromSnapshot(snap, st.Instances(), 1000, 8000, 8000, true, true)
+	reports := protocol.ReportsFromSnapshot(snap, st.Instances(), 1000, 8000, 8000, true, true, nil)
 	back := protocol.SnapshotFromReports(reports)
 	sameSnapshots(t, "roundtrip", []*stats.Snapshot{snap}, []*stats.Snapshot{back})
 }

@@ -41,7 +41,7 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 	st := x.e.Stages[x.si]
 	reports := protocol.ReportsFromSnapshot(snap, st.Instances(),
 		x.e.CapacityOf(x.si), x.e.LastEmitted(), x.e.Cfg.Budget,
-		st.AssignmentRouter() != nil, x.resizable())
+		st.AssignmentRouter() != nil, x.resizable(), st.SplitKeys())
 	for _, r := range reports {
 		if x.conn.Send(&protocol.Message{Report: r}) != nil {
 			return nil
@@ -101,6 +101,22 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 				reb.ScaledIn++
 			}
 			x.ack(m.ResizeCmd.Interval)
+		case m.Split != nil:
+			// Reject-as-hold mirrors the plan path: splitting requires
+			// an assignment router and the pause-free protocol, and
+			// ApplySplitSet re-checks both under its own lock. Nothing
+			// is recorded in reb — a split is a routing-layer change,
+			// not a migration.
+			if st.AssignmentRouter() == nil || !st.PauseFree() {
+				x.ack(m.Split.Interval)
+				break
+			}
+			set := make([]stats.HotKey, 0, len(m.Split.Set))
+			for _, e := range m.Split.Set {
+				set = append(set, stats.HotKey{Key: e.Key, Fan: e.Fan})
+			}
+			_ = st.ApplySplitSet(set)
+			x.ack(m.Split.Interval)
 		case m.Resume != nil:
 			return reb
 		default:
@@ -271,6 +287,12 @@ func (l *Loop) serve() {
 				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: 1}}
 			case ScaleIn:
 				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: -1}}
+			case SetSplit:
+				ann := &protocol.SplitAnnounce{Interval: env.Interval}
+				for _, sp := range c.Set {
+					ann.Set = append(ann.Set, protocol.SplitEntry{Key: sp.Key, Fan: sp.Fan})
+				}
+				msg = &protocol.Message{Split: ann}
 			default:
 				continue
 			}
@@ -322,6 +344,7 @@ func (l *Loop) recvRound() (Env, *stats.Snapshot, bool) {
 		Budget:    r.Budget,
 		Routable:  r.Routable,
 		Resizable: r.Resizable,
+		SplitKeys: r.Split,
 	}
 	return env, protocol.SnapshotFromReports(reports), true
 }

@@ -50,6 +50,11 @@ type Controller struct {
 	// set shrank while they were in generation (their destinations no
 	// longer all exist).
 	DroppedStale int
+	// SplitPinned counts plan moves stripped because their key was
+	// split at decision time: a split key's state is spread across its
+	// replica set mid-interval, so the plan must leave it pinned to its
+	// home until the detector folds it back.
+	SplitPinned int
 
 	pending      *balance.Plan
 	pendingDelay int
@@ -146,8 +151,54 @@ func (c *Controller) Decide(env control.Env, snap *stats.Snapshot) []control.Com
 	if plan == nil {
 		return nil
 	}
+	c.guardSplit(plan, env.SplitKeys, snap)
 	c.Applied = append(c.Applied, plan)
 	return []control.Command{control.Rebalance{Plan: plan}}
+}
+
+// guardSplit pins every currently split key to its home destination:
+// its migration entry is stripped (counted in SplitPinned) and its
+// routing-table entry rewritten so F(k) still lands on the home — as a
+// hash fallback where possible, as an explicit entry otherwise. The
+// stage applies the same guard at plan time (Stage.SplitPinned); this
+// controller-side pass keeps the announced plan honest, so wire
+// observers never see a migration that will be refused.
+func (c *Controller) guardSplit(plan *balance.Plan, split []tuple.Key, snap *stats.Snapshot) {
+	if len(split) == 0 {
+		return
+	}
+	splitSet := make(map[tuple.Key]bool, len(split))
+	for _, k := range split {
+		splitSet[k] = true
+	}
+	if len(plan.Moved) > 0 {
+		kept := plan.Moved[:0]
+		for _, k := range plan.Moved {
+			if splitSet[k] {
+				delete(plan.MoveDest, k)
+				c.SplitPinned++
+				continue
+			}
+			kept = append(kept, k)
+		}
+		plan.Moved = kept
+	}
+	if plan.Table == nil {
+		return
+	}
+	// The snapshot carries each split key's current destination (its
+	// home — the plan guard keeps that invariant) and hash h(k).
+	for i := range snap.Keys {
+		ks := &snap.Keys[i]
+		if !splitSet[ks.Key] {
+			continue
+		}
+		if ks.Hash == ks.Dest {
+			plan.Table.Delete(ks.Key)
+		} else {
+			plan.Table.Put(ks.Key, ks.Dest)
+		}
+	}
 }
 
 // Maybe evaluates one snapshot and rebalances the stage directly if

@@ -1,0 +1,104 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/control"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// stubPlanner returns a canned plan, so guard tests control exactly
+// what the controller would announce.
+type stubPlanner struct{ plan *balance.Plan }
+
+func (p stubPlanner) Name() string                                       { return "stub" }
+func (p stubPlanner) Plan(*stats.Snapshot, balance.Config) *balance.Plan { return p.plan }
+
+// TestControllerGuardPinsSplitKeys pins the controller-side split
+// guard: a plan that migrates a split key has that move stripped
+// (SplitPinned), and the announced routing table rewritten so F(k)
+// still lands on the key's home — as an explicit entry when home
+// differs from h(k), as a hash fallback (entry deleted) otherwise.
+func TestControllerGuardPinsSplitKeys(t *testing.T) {
+	// Key 5: split, home 2 ≠ hash 0 → table entry must pin 5 → 2.
+	// Key 9: split, home = hash = 1 → table entry must be deleted.
+	// Key 7: cold → its move survives untouched.
+	tab := route.NewTable()
+	tab.Put(5, 3)
+	tab.Put(9, 3)
+	tab.Put(7, 3)
+	plan := &balance.Plan{
+		Table:    tab,
+		Moved:    []tuple.Key{5, 9, 7},
+		MoveDest: map[tuple.Key]int{5: 3, 9: 3, 7: 3},
+	}
+	c := New(stubPlanner{plan}, balance.Config{ThetaMax: 0.01})
+	snap := &stats.Snapshot{ND: 4, Keys: []stats.KeyStat{
+		{Key: 5, Cost: 5000, Dest: 2, Hash: 0},
+		{Key: 9, Cost: 4000, Dest: 1, Hash: 1},
+		{Key: 7, Cost: 10, Dest: 0, Hash: 0},
+	}}
+	env := control.Env{Routable: true, SplitKeys: []tuple.Key{5, 9}}
+	cmds := c.Decide(env, snap)
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1 rebalance", len(cmds))
+	}
+	got := cmds[0].(control.Rebalance).Plan
+	if c.SplitPinned != 2 {
+		t.Fatalf("SplitPinned = %d, want 2", c.SplitPinned)
+	}
+	if len(got.Moved) != 1 || got.Moved[0] != 7 {
+		t.Fatalf("Moved = %v, want [7]", got.Moved)
+	}
+	if _, ok := got.MoveDest[5]; ok {
+		t.Fatal("split key 5 kept its MoveDest entry")
+	}
+	if d, ok := got.Table.Lookup(5); !ok || d != 2 {
+		t.Fatalf("table routes split key 5 to (%d,%v), want its home 2", d, ok)
+	}
+	if _, ok := got.Table.Lookup(9); ok {
+		t.Fatal("split key 9 kept a table entry although home = hash")
+	}
+	if d, ok := got.Table.Lookup(7); !ok || d != 3 {
+		t.Fatalf("cold key 7 routed to (%d,%v), plan wanted 3", d, ok)
+	}
+}
+
+// TestSplitterEmitsOnChangeOnly pins the policy's announce discipline:
+// one SetSplit when the set changes, silence while it holds, and a
+// final empty SetSplit when the key cools past the hysteresis exit.
+func TestSplitterEmitsOnChangeOnly(t *testing.T) {
+	s := NewSplitter(4, 1.0)
+	env := control.Env{Routable: true, Tasks: 8, Capacity: 1000}
+	snap := func(cost int64) *stats.Snapshot {
+		return &stats.Snapshot{ND: 8, Keys: []stats.KeyStat{{Key: 3, Cost: cost, Freq: cost}}}
+	}
+	if cmds := s.Decide(env, snap(500)); cmds != nil {
+		t.Fatalf("cold snapshot emitted %v", cmds)
+	}
+	cmds := s.Decide(env, snap(2200))
+	if len(cmds) != 1 {
+		t.Fatalf("hot snapshot emitted %d commands, want 1", len(cmds))
+	}
+	set := cmds[0].(control.SetSplit).Set
+	if len(set) != 1 || set[0].Key != 3 || set[0].Fan != 3 {
+		t.Fatalf("SetSplit = %v, want key 3 fan 3", set)
+	}
+	if cmds := s.Decide(env, snap(2200)); cmds != nil {
+		t.Fatalf("unchanged set re-announced: %v", cmds)
+	}
+	cmds = s.Decide(env, snap(100))
+	if len(cmds) != 1 || len(cmds[0].(control.SetSplit).Set) != 0 {
+		t.Fatalf("cooled key should announce an empty set, got %v", cmds)
+	}
+	if s.Announced != 2 || s.MaxActive != 1 {
+		t.Fatalf("Announced=%d MaxActive=%d, want 2 and 1", s.Announced, s.MaxActive)
+	}
+	// Not routable: the policy must hold entirely.
+	if cmds := s.Decide(control.Env{Tasks: 8, Capacity: 1000}, snap(9000)); cmds != nil {
+		t.Fatalf("non-routable stage got %v", cmds)
+	}
+}

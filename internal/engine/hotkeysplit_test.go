@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/state"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Tests of hot-key splitting: split-routed tuples must fan out across
+// the replica set, fold back into the home task at interval close with
+// exact tracker/state/operator accounting, pin split keys against
+// rebalance plans, and survive split churn concurrent with continuous
+// rebalancing under live traffic (run under -race by the suite).
+
+// splitCountOp counts per key like countingOp and implements the
+// SplitFolder contract: the replica delta is the tuple count, folded
+// back as count + windowed state.
+type splitCountOp struct {
+	countingOp
+}
+
+func (s *splitCountOp) SplitAbsorb(t tuple.Tuple) int64 { return 1 }
+
+func (s *splitCountOp) SplitMerge(ctx *TaskCtx, k tuple.Key, delta, freq, mem int64) {
+	if freq == 0 {
+		return
+	}
+	s.counts[k] += delta
+	ctx.Store.Add(k, state.Entry{Value: delta, Size: mem})
+}
+
+func splitCountStage(nd int) (*Stage, []*splitCountOp) {
+	fleet := make([]*splitCountOp, nd)
+	st := NewStage("hk", nd, func(id int) Operator {
+		fleet[id] = &splitCountOp{countingOp{counts: make(map[tuple.Key]int64)}}
+		return fleet[id]
+	}, 2, newAsgRouter(nd))
+	return st, fleet
+}
+
+// TestSplitFoldsBackExactly pins the fold-back accounting: a split
+// key's tuples absorbed on replicas land, after CloseInterval, on the
+// home task only — operator count, windowed state and tracker cell all
+// exactly as fed.
+func TestSplitFoldsBackExactly(t *testing.T) {
+	const nd = 4
+	st, fleet := splitCountStage(nd)
+	defer st.Stop()
+	if err := st.SetPauseFree(true); err != nil {
+		t.Fatal(err)
+	}
+	hot := tuple.Key(7)
+	if err := st.ApplySplitSet([]stats.HotKey{{Key: hot, Fan: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if ks := st.SplitKeys(); len(ks) != 1 || ks[0] != hot {
+		t.Fatalf("SplitKeys = %v, want [%d]", ks, hot)
+	}
+
+	const n = 600
+	for i := 0; i < n; i++ {
+		st.Feed(tuple.New(hot, i))
+		st.Feed(tuple.New(tuple.Key(i%50)+100, i))
+	}
+	st.Barrier()
+
+	home := st.AssignmentRouter().Assignment().Dest(hot)
+	// Pre-fold: the home's operator saw only the share round-robined to
+	// it; the rest sits in replica cells.
+	if got := fleet[home].counts[hot]; got >= n {
+		t.Fatalf("home processed %d of %d split-key tuples before fold; replicas absorbed nothing", got, n)
+	}
+
+	st.CloseInterval()
+	snap := st.EndInterval(1)
+
+	var total int64
+	for d, op := range fleet {
+		if d != home && op.counts[hot] != 0 {
+			t.Fatalf("replica %d retained %d counts for split key after fold", d, op.counts[hot])
+		}
+		total += op.counts[hot]
+	}
+	if total != n {
+		t.Fatalf("split key count %d after fold, fed %d", total, n)
+	}
+	for d := 0; d < nd; d++ {
+		want := int64(0)
+		if d == home {
+			want = n
+		}
+		if got := st.StoreOf(d).Size(hot); got != want {
+			t.Fatalf("instance %d holds %d state units for split key, want %d", d, got, want)
+		}
+	}
+	for _, ks := range snap.Keys {
+		if ks.Key != hot {
+			continue
+		}
+		if ks.Cost != n || ks.Freq != n || ks.Dest != home {
+			t.Fatalf("harvest for split key: %+v, want cost=freq=%d dest=%d", ks, n, home)
+		}
+		return
+	}
+	t.Fatalf("split key missing from harvest")
+}
+
+// TestSplitRetireExtractsResidue pins the swap-grace-extract path: a
+// key leaving the split set mid-interval has its unfolded replica
+// residue merged home immediately, not lost.
+func TestSplitRetireExtractsResidue(t *testing.T) {
+	st, fleet := splitCountStage(4)
+	defer st.Stop()
+	if err := st.SetPauseFree(true); err != nil {
+		t.Fatal(err)
+	}
+	hot := tuple.Key(3)
+	if err := st.ApplySplitSet([]stats.HotKey{{Key: hot, Fan: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		st.Feed(tuple.New(hot, i))
+	}
+	st.Barrier()
+	// Unsplit without an interval close in between: retirement must
+	// extract the cells.
+	if err := st.ApplySplitSet(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ks := st.SplitKeys(); ks != nil {
+		t.Fatalf("SplitKeys = %v after full retire", ks)
+	}
+	st.Barrier()
+	var total int64
+	for _, op := range fleet {
+		total += op.counts[hot]
+	}
+	if total != n {
+		t.Fatalf("count %d after retire, fed %d", total, n)
+	}
+	home := st.AssignmentRouter().Assignment().Dest(hot)
+	if got := st.StoreOf(home).Size(hot); got != n {
+		t.Fatalf("home state %d after retire, want %d", got, n)
+	}
+}
+
+// TestSplitPinsKeysAgainstPlans pins the stage-level plan guard: a
+// rebalance plan that tries to migrate a split key has that move
+// stripped (counted in SplitPinned) and the key's routing left at its
+// home, while the plan's other moves apply normally.
+func TestSplitPinsKeysAgainstPlans(t *testing.T) {
+	st, _ := splitCountStage(4)
+	defer st.Stop()
+	if err := st.SetPauseFree(true); err != nil {
+		t.Fatal(err)
+	}
+	for k := tuple.Key(0); k < 20; k++ {
+		st.Feed(tuple.New(k, nil))
+	}
+	st.Barrier()
+
+	hot, cold := tuple.Key(5), tuple.Key(11)
+	if err := st.ApplySplitSet([]stats.HotKey{{Key: hot, Fan: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	asg := st.AssignmentRouter().Assignment()
+	home := asg.Dest(hot)
+	tab := asg.Table().Clone()
+	plan := &balance.Plan{Table: tab, MoveDest: map[tuple.Key]int{}}
+	for _, k := range []tuple.Key{hot, cold} {
+		dst := (asg.Dest(k) + 1) % 4
+		tab.Put(k, dst)
+		plan.Moved = append(plan.Moved, k)
+		plan.MoveDest[k] = dst
+	}
+	if _, err := st.ApplyPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if st.SplitPinned() != 1 {
+		t.Fatalf("SplitPinned = %d, want 1", st.SplitPinned())
+	}
+	cur := st.AssignmentRouter().Assignment()
+	if cur.Dest(hot) != home {
+		t.Fatalf("split key moved from %d to %d despite guard", home, cur.Dest(hot))
+	}
+	if cur.Dest(cold) != plan.MoveDest[cold] {
+		t.Fatalf("cold key at %d, plan wanted %d", cur.Dest(cold), plan.MoveDest[cold])
+	}
+}
+
+// TestSplitStressWithContinuousRebalance is the -race stress of split
+// churn composed with live migration: four feeders emit a viral-key
+// mix while a controller goroutine alternates rebalance plans (some
+// deliberately targeting split keys) with split-set changes — arm,
+// fan growth, retire. Every tuple must be counted exactly once and
+// every key's state must end at its routed home.
+func TestSplitStressWithContinuousRebalance(t *testing.T) {
+	const (
+		nd        = 4
+		feeders   = 4
+		keyDomain = 60
+		chunk     = 64
+		minChunks = 8
+		rounds    = 16
+	)
+	st, fleet := splitCountStage(nd)
+	defer st.Stop()
+	if err := st.SetPauseFree(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Preload so plans migrate real state.
+	pre := make([]tuple.Tuple, 2*keyDomain)
+	for i := range pre {
+		pre[i] = tuple.New(tuple.Key(i%keyDomain), i)
+	}
+	st.FeedBatch(pre)
+	st.Barrier()
+
+	// Controller: alternate split-set changes (split keys 0 and 1 at
+	// varying fans, then retire) with plans rotating a stripe of the
+	// domain — including, every round, an attempt to move the split
+	// keys themselves, which the guard must pin.
+	splitSets := [][]stats.HotKey{
+		{{Key: 0, Fan: 2}},
+		{{Key: 0, Fan: 3}, {Key: 1, Fan: 2}},
+		{{Key: 1, Fan: 4}},
+		nil,
+	}
+	stop := make(chan struct{})
+	var ctlWg sync.WaitGroup
+	ctlWg.Add(1)
+	go func() {
+		defer ctlWg.Done()
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			if err := st.ApplySplitSet(splitSets[i%len(splitSets)]); err != nil {
+				t.Errorf("ApplySplitSet: %v", err)
+				return
+			}
+			asg := st.AssignmentRouter().Assignment()
+			tab := asg.Table().Clone()
+			plan := &balance.Plan{Table: tab, MoveDest: map[tuple.Key]int{}}
+			for k := tuple.Key(i % 5); k < keyDomain; k += 5 {
+				dst := (asg.Dest(k) + 1) % nd
+				tab.Put(k, dst)
+				plan.Moved = append(plan.Moved, k)
+				plan.MoveDest[k] = dst
+			}
+			if _, err := st.ApplyPlan(plan); err != nil {
+				t.Errorf("ApplyPlan: %v", err)
+				return
+			}
+			if i%4 == 3 {
+				st.CloseInterval() // exercise the mid-churn fold too
+			}
+		}
+	}()
+
+	// Feeders: every other tuple hits the viral keys 0/1.
+	var seq atomic.Uint64
+	shards := ShardSpout(func(dst []tuple.Tuple) int {
+		for i := range dst {
+			n := seq.Add(1) - 1
+			k := tuple.Key(n % keyDomain)
+			if n%2 == 0 {
+				k = tuple.Key(n % 4 / 2) // keys 0 and 1
+			}
+			dst[i] = tuple.New(k, n)
+		}
+		return len(dst)
+	}, feeders)
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(sb SpoutBatch) {
+			defer wg.Done()
+			buf := make([]tuple.Tuple, chunk)
+			for j := 0; ; j++ {
+				if j >= minChunks {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				got := sb(buf[:chunk])
+				st.FeedBatch(buf[:got])
+				time.Sleep(time.Millisecond)
+			}
+		}(shards[f])
+	}
+	ctlWg.Wait()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain and fold everything back.
+	st.Barrier()
+	if err := st.ApplySplitSet(nil); err != nil {
+		t.Fatal(err)
+	}
+	st.CloseInterval()
+
+	fedPerKey := make(map[tuple.Key]int64)
+	for i := range pre {
+		fedPerKey[pre[i].Key]++
+	}
+	total := int64(seq.Load())
+	for n := int64(0); n < total; n++ {
+		k := tuple.Key(n % keyDomain)
+		if n%2 == 0 {
+			k = tuple.Key(n % 4 / 2)
+		}
+		fedPerKey[k]++
+	}
+	got := make(map[tuple.Key]int64)
+	for _, op := range fleet {
+		for k, n := range op.counts {
+			got[k] += n
+		}
+	}
+	for k, n := range fedPerKey {
+		if got[k] != n {
+			t.Fatalf("key %d counted %d times, fed %d (loss or double-count)", k, got[k], n)
+		}
+	}
+	if len(got) != len(fedPerKey) {
+		t.Fatalf("key cardinality: fed %d, counted %d", len(fedPerKey), len(got))
+	}
+
+	// Placement: all state at each key's routed home, volumes exact.
+	cur := st.AssignmentRouter().Assignment()
+	var totalState int64
+	for k := tuple.Key(0); k < keyDomain; k++ {
+		home := cur.Dest(k)
+		for d := 0; d < nd; d++ {
+			sz := st.StoreOf(d).Size(k)
+			totalState += sz
+			if d != home && sz != 0 {
+				t.Fatalf("key %d leaked %d state units on instance %d (home %d)", k, sz, d, home)
+			}
+		}
+	}
+	if want := int64(len(pre)) + total; totalState != want {
+		t.Fatalf("total state %d, want %d", totalState, want)
+	}
+}

@@ -100,6 +100,32 @@ type IntervalFlusher interface {
 	FlushInterval(ctx *TaskCtx)
 }
 
+// SplitFolder is the optional Operator extension hot-key splitting
+// requires. While a key is split, its tuples are physically processed
+// on several replica tasks; instead of running Process there (which
+// would scatter canonical state), the engine reduces each tuple to a
+// commutative int64 delta via SplitAbsorb — the pkgpart partial
+// representation — and sums the replicas' deltas per interval. At
+// interval close (and when the key unsplits) the summed delta folds
+// back into the key's home task via SplitMerge, together with the
+// engine-tracked tuple count and state volume, so the home task's
+// canonical state ends the interval exactly as an unsplit run would
+// have left it.
+//
+// Contract: SplitAbsorb runs on replica task goroutines and must be a
+// pure function of the tuple (no ctx access — replica state is the
+// engine's delta cell, nothing else); SplitMerge runs on the home
+// task's goroutine under an interval-close barrier and must leave the
+// operator's state as if Process had run freq times with contributions
+// summing to delta and mem. Operators whose Process emits mid-interval
+// cannot satisfy that contract and must not implement SplitFolder;
+// interval-flush emitters (PartialCount) qualify because the fold
+// lands before FlushInterval.
+type SplitFolder interface {
+	SplitAbsorb(t tuple.Tuple) int64
+	SplitMerge(ctx *TaskCtx, k tuple.Key, delta, freq, mem int64)
+}
+
 // OperatorFunc adapts a function to the Operator interface.
 type OperatorFunc func(ctx *TaskCtx, t tuple.Tuple)
 
@@ -117,6 +143,10 @@ type discardOp struct{}
 func (discardOp) Process(ctx *TaskCtx, t tuple.Tuple)         {}
 func (discardOp) ProcessBatch(ctx *TaskCtx, ts []tuple.Tuple) {}
 
+// Discard keeps no state, so its split delta is trivially zero.
+func (discardOp) SplitAbsorb(t tuple.Tuple) int64                              { return 0 }
+func (discardOp) SplitMerge(ctx *TaskCtx, k tuple.Key, delta, freq, mem int64) {}
+
 // StatefulCount is a minimal stateful Operator: it appends each tuple
 // to the key's windowed state (size = t.StateSize), so state volumes
 // and migration costs behave like the paper's word-count topology. Its
@@ -133,4 +163,17 @@ func (statefulCountOp) ProcessBatch(ctx *TaskCtx, ts []tuple.Tuple) {
 	for i := range ts {
 		ctx.Store.Add(ts[i].Key, state.Entry{Value: ts[i].Value, Size: ts[i].StateSize})
 	}
+}
+
+// SplitAbsorb reduces a tuple to its state-size contribution; the
+// per-entry Values collapse into one merged entry at fold time, which
+// preserves every aggregate observable (per-key size, windowed expiry,
+// store totals) an unsplit run would report.
+func (statefulCountOp) SplitAbsorb(t tuple.Tuple) int64 { return t.StateSize }
+
+func (statefulCountOp) SplitMerge(ctx *TaskCtx, k tuple.Key, delta, freq, mem int64) {
+	if freq == 0 {
+		return
+	}
+	ctx.Store.Add(k, state.Entry{Value: freq, Size: delta})
 }

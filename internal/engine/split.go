@@ -1,0 +1,317 @@
+package engine
+
+// Hot-key splitting: the stage-side half of the dynamic per-key
+// replication protocol. A split key's tuples fan out round-robin
+// across a replica set on the wait-free feed path (route.SplitTable,
+// published through the same generation-stamped atomic pointer as the
+// routing assignment); replicas reduce them into commutative delta
+// cells (task.absorbSplit); and foldSplits drains the cells back into
+// the key's home task before statistics harvest and interval flush, so
+// every observable — interval series, snapshots, routing tables, final
+// aggregates — is bit-identical to an unsplit run. The throughput win
+// is physical: the hot key's work actually executes on Fan goroutines
+// instead of one.
+//
+// Split transitions ride the pause-free migration machinery:
+// publishing a split set is arm-then-swap (cells armed over the task
+// FIFOs before the generation swap, exactly like handoff buffers), and
+// retiring one is swap-then-grace-then-extract (the old generation's
+// epoch counter proves no feeder can still pick a retired replica).
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// ApplySplitSet publishes a new hot-key split set, replacing the
+// current one: keys present in set become (or stay) split with the
+// given fan, keys absent fold back into their home task for good.
+// Each key's home and replica ring are resolved from the assignment
+// live at apply time, so an announcement composes correctly with a
+// rebalance plan applied earlier in the same control round. Safe to
+// call from a controller goroutine concurrent with feeding. Requires
+// the pause-free protocol (the pausing oracle predates splitting and
+// stays split-free).
+func (s *Stage) ApplySplitSet(set []stats.HotKey) error {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		return fmt.Errorf("engine: stage %q has no assignment router; cannot split keys", s.Name)
+	}
+	if !s.pauseFree.Load() {
+		return fmt.Errorf("engine: stage %q: hot-key splitting requires pause-free migration", s.Name)
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	s.applySplitSetLocked(set, ar)
+	return nil
+}
+
+func (s *Stage) applySplitSetLocked(set []stats.HotKey, ar *AssignmentRouter) {
+	old := ar.Assignment()
+	oldSt := old.Splits()
+	nd := len(s.tasks)
+
+	// Build the next split table. Unchanged entries keep their Split
+	// object (round-robin cursor and armed replicas survive); new or
+	// fan-grown entries get a fresh replica ring anchored at the key's
+	// current home.
+	var nst *route.SplitTable
+	if nd >= 2 {
+		for _, hk := range set {
+			home := old.Dest(hk.Key)
+			fan := hk.Fan
+			if fan < 2 {
+				fan = 2
+			}
+			if fan > nd {
+				fan = nd
+			}
+			if nst == nil {
+				nst = route.NewSplitTable()
+			}
+			if oldSt != nil {
+				if sp, ok := oldSt.Lookup(hk.Key); ok && sp.Home == home && sp.Fan() == fan {
+					nst.Put(sp)
+					continue
+				}
+			}
+			nst.Put(route.NewSplit(hk.Key, home, fan, nd))
+		}
+	}
+	if oldSt == nil && nst == nil {
+		return
+	}
+
+	// Arm delta cells on every replica not already armed for its key —
+	// fire-and-forget thunks queued ahead of the swap, so FIFO makes
+	// the cells exist before the first split-routed tuple is dequeued.
+	if nst != nil {
+		armPer := make(map[int][]tuple.Key)
+		nst.Each(func(sp *route.Split) {
+			var oldReps []int
+			if oldSt != nil {
+				if o, ok := oldSt.Lookup(sp.Key); ok {
+					oldReps = o.Replicas
+				}
+			}
+			for _, d := range sp.Replicas {
+				if !containsDest(oldReps, d) {
+					armPer[d] = append(armPer[d], sp.Key)
+				}
+			}
+		})
+		for d, keys := range armPer {
+			s.tasks[d].armSplit(keys)
+		}
+	}
+
+	// Publish: same table and hasher, new split set, generation g+1.
+	next := route.NewAssignment(old.Table(), old.Hasher())
+	next.SetSplits(nst)
+	ar.Swap(next)
+
+	// Retirements: keys leaving the set (and any replica dropped from a
+	// surviving key's ring) must have their cells extracted — but only
+	// after the grace period proves no old-generation feeder can still
+	// pick a retired replica.
+	type retirement struct {
+		k    tuple.Key
+		home int
+		reps []int // replicas to extract from (full set when unsplitting)
+	}
+	var rets []retirement
+	if oldSt != nil {
+		oldSt.Each(func(sp *route.Split) {
+			var newReps []int
+			if nst != nil {
+				if n, ok := nst.Lookup(sp.Key); ok {
+					newReps = n.Replicas
+				}
+			}
+			var drop []int
+			for _, d := range sp.Replicas {
+				if !containsDest(newReps, d) {
+					drop = append(drop, d)
+				}
+			}
+			if len(drop) > 0 {
+				rets = append(rets, retirement{k: sp.Key, home: sp.Home, reps: drop})
+			}
+		})
+	}
+	if len(rets) == 0 {
+		return
+	}
+	sort.Slice(rets, func(i, j int) bool { return rets[i].k < rets[j].k })
+	oldSlot := int(old.Gen() & 1)
+	for s.genInflight[oldSlot].Load() != 0 {
+		runtime.Gosched()
+	}
+	for _, r := range rets {
+		var sum splitCell
+		for _, d := range r.reps {
+			t := s.tasks[d]
+			t.barrier(func(*TaskCtx) {
+				if c, ok := t.split[r.k]; ok {
+					sum.delta += c.delta
+					sum.cost += c.cost
+					sum.freq += c.freq
+					sum.mem += c.mem
+					delete(t.split, r.k)
+				}
+			})
+		}
+		if sum.zero() {
+			continue
+		}
+		home := s.tasks[r.home]
+		home.barrier(func(ctx *TaskCtx) {
+			mergeSplitCell(home, ctx, r.k, sum)
+		})
+	}
+}
+
+// foldSplits drains every replica's delta cells and merges them into
+// each key's home task — the fold-back step of the split protocol,
+// run before interval flush and statistics harvest so the home task's
+// canonical state, tracker cell and processed-work accounting end the
+// interval exactly as an unsplit run's would. Keys stay armed; a cell
+// already drained (or never fed) contributes nothing, which makes the
+// fold idempotent across the close/flush/harvest call sites.
+func (s *Stage) foldSplits() {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		return
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	st := ar.Assignment().Splits()
+	if st == nil {
+		return
+	}
+	// Collect concurrently: each task drains its own cells under a
+	// barrier thunk (FIFO puts the drain after every enqueued tuple).
+	perTask := make([]map[tuple.Key]splitCell, len(s.tasks))
+	dones := make([]chan struct{}, 0, len(s.tasks))
+	for i, t := range s.tasks {
+		i, t := i, t
+		dones = append(dones, t.barrierAsync(func(*TaskCtx) {
+			if len(t.split) == 0 {
+				return
+			}
+			m := make(map[tuple.Key]splitCell, len(t.split))
+			for k, c := range t.split {
+				if c.zero() {
+					continue
+				}
+				m[k] = *c
+				*c = splitCell{}
+			}
+			perTask[i] = m
+		}))
+	}
+	for _, d := range dones {
+		<-d
+	}
+	agg := make(map[tuple.Key]splitCell)
+	for _, m := range perTask {
+		for k, c := range m {
+			a := agg[k]
+			a.delta += c.delta
+			a.cost += c.cost
+			a.freq += c.freq
+			a.mem += c.mem
+			agg[k] = a
+		}
+	}
+	if len(agg) == 0 {
+		return
+	}
+	// Merge per home task, keys ascending, all homes concurrently —
+	// deterministic per-task merge order, one barrier round total.
+	asg := ar.Assignment()
+	perHome := make(map[int][]tuple.Key)
+	for k := range agg {
+		home := asg.Dest(k)
+		if sp, ok := st.Lookup(k); ok {
+			home = sp.Home
+		}
+		perHome[home] = append(perHome[home], k)
+	}
+	mdones := make([]chan struct{}, 0, len(perHome))
+	for home, keys := range perHome {
+		home, keys := home, keys
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		t := s.tasks[home]
+		mdones = append(mdones, t.barrierAsync(func(ctx *TaskCtx) {
+			for _, k := range keys {
+				mergeSplitCell(t, ctx, k, agg[k])
+			}
+		}))
+	}
+	for _, d := range mdones {
+		<-d
+	}
+}
+
+// mergeSplitCell applies one key's summed replica contribution on the
+// home task's goroutine: tracker and processed-work attribution (the
+// arrival side was charged to the home at feed time), then the
+// operator's own fold. Plain integer adds end to end — commutative, so
+// replica and fold order never show in any observable.
+func mergeSplitCell(t *task, ctx *TaskCtx, k tuple.Key, c splitCell) {
+	ctx.Tracker.AbsorbKey(k, c.cost, c.freq, c.mem)
+	ctx.ProcessedCost += c.cost
+	ctx.ProcessedTuples += c.freq
+	if t.folder != nil {
+		t.folder.SplitMerge(ctx, k, c.delta, c.freq, c.mem)
+	}
+}
+
+// clearSplits folds back and retires the entire split set — the
+// actuator resizes run before touching the ring, since a replica set
+// anchored to a changing instance count would go stale. The detector
+// re-splits survivors on the next interval's evidence.
+func (s *Stage) clearSplits(ar *AssignmentRouter) {
+	if ar == nil || ar.Assignment().Splits() == nil {
+		return
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	s.applySplitSetLocked(nil, ar)
+}
+
+// SplitKeys returns the currently split keys in ascending order (nil
+// when none). The control plane stamps them into load reports so the
+// controller's plan guard sees the live set.
+func (s *Stage) SplitKeys() []tuple.Key {
+	ar := s.AssignmentRouter()
+	if ar == nil {
+		return nil
+	}
+	st := ar.Assignment().Splits()
+	if st == nil {
+		return nil
+	}
+	return st.Keys()
+}
+
+// SplitPinned returns the cumulative count of rebalance-plan moves the
+// stage refused because their key was split at apply time (the plan's
+// table entry is pinned to the key's home instead) — the stage-level
+// mirror of the controller's SplitPinned guard counter.
+func (s *Stage) SplitPinned() int64 { return s.splitPinned.Load() }
+
+func containsDest(reps []int, d int) bool {
+	for _, r := range reps {
+		if r == d {
+			return true
+		}
+	}
+	return false
+}

@@ -73,6 +73,9 @@ type Stage struct {
 	genInflight     [2]atomic.Int64
 	migMu           sync.Mutex
 	handoffOverflow atomic.Int64
+	// splitPinned counts rebalance-plan moves refused because their key
+	// was split at apply time (see applyPlanPauseFree's guard).
+	splitPinned atomic.Int64
 
 	// FeedBatch partition scratch, guarded by mu (FeedBatch may be
 	// entered concurrently by the feeder and by Resume's held replay).
@@ -214,12 +217,21 @@ func (s *Stage) enterGen(ar *AssignmentRouter) (*route.Assignment, int) {
 
 // feedLive is Feed's pause-free path: no stage mutex, no paused-key
 // probe — route under the pinned generation, account arrivals
-// atomically, send with the generation stamp, release the epoch.
+// atomically, send with the generation stamp, release the epoch. A
+// split key's tuple is physically sent to the next round-robin replica
+// while its arrival stays charged to the home destination F(k), so
+// arrival accounting (and everything modeled from it) reconstructs the
+// unsplit run.
 func (s *Stage) feedLive(ar *AssignmentRouter, t tuple.Tuple) {
 	a, slot := s.enterGen(ar)
 	d := a.Dest(t.Key)
 	atomic.AddInt64(&s.arrivedCost[d], t.Cost)
 	atomic.AddInt64(&s.arrivedTuples[d], 1)
+	if st := a.Splits(); st != nil {
+		if sp, ok := st.Lookup(t.Key); ok {
+			d = sp.Pick()
+		}
+	}
 	s.tasks[d].send(t, a.Gen())
 	s.genInflight[slot].Add(-1)
 }
@@ -232,6 +244,7 @@ type liveScratch struct {
 	bounds []int
 	off    []int
 	cost   []int64
+	tup    []int64
 }
 
 var liveScratchPool = sync.Pool{New: func() any { return new(liveScratch) }}
@@ -252,6 +265,39 @@ func (s *Stage) feedBatchLive(ar *AssignmentRouter, ts []tuple.Tuple) {
 	}
 	dst := sc.dst[:len(ts)]
 	a.DestTuples(ts, dst)
+	st := a.Splits()
+	if st != nil {
+		// Hot keys present: charge arrivals at each tuple's home
+		// destination (dst as routed — the unsplit attribution), then
+		// remap split tuples' physical destination to the round-robin
+		// replica. Cold batches never enter this block: the split check
+		// costs one nil test per batch.
+		if cap(sc.cost) < nd {
+			sc.cost = make([]int64, nd)
+		}
+		if cap(sc.tup) < nd {
+			sc.tup = make([]int64, nd)
+		}
+		cost, tup := sc.cost[:nd], sc.tup[:nd]
+		for i := range cost {
+			cost[i] = 0
+			tup[i] = 0
+		}
+		for i := range ts {
+			d := dst[i]
+			cost[d] += ts[i].Cost
+			tup[d]++
+			if sp, ok := st.Lookup(ts[i].Key); ok {
+				dst[i] = sp.Pick()
+			}
+		}
+		for d := 0; d < nd; d++ {
+			if tup[d] > 0 {
+				atomic.AddInt64(&s.arrivedTuples[d], tup[d])
+				atomic.AddInt64(&s.arrivedCost[d], cost[d])
+			}
+		}
+	}
 	if cap(sc.bounds) < nd+1 {
 		sc.bounds = make([]int, nd+1)
 	}
@@ -266,7 +312,9 @@ func (s *Stage) feedBatchLive(ar *AssignmentRouter, ts []tuple.Tuple) {
 	for d := 0; d < nd; d++ {
 		if bounds[d+1] > 0 {
 			active++
-			atomic.AddInt64(&s.arrivedTuples[d], int64(bounds[d+1]))
+			if st == nil {
+				atomic.AddInt64(&s.arrivedTuples[d], int64(bounds[d+1]))
+			}
 		}
 		bounds[d+1] += bounds[d]
 	}
@@ -291,16 +339,27 @@ func (s *Stage) feedBatchLive(ar *AssignmentRouter, ts []tuple.Tuple) {
 	for i := range cost {
 		cost[i] = 0
 	}
-	for i := range ts {
-		d := dst[i]
-		buf[off[d]] = ts[i]
-		off[d]++
-		cost[d] += ts[i].Cost
+	if st == nil {
+		for i := range ts {
+			d := dst[i]
+			buf[off[d]] = ts[i]
+			off[d]++
+			cost[d] += ts[i].Cost
+		}
+	} else {
+		// Cost was already accounted (by home) in the split pass above.
+		for i := range ts {
+			d := dst[i]
+			buf[off[d]] = ts[i]
+			off[d]++
+		}
 	}
 	gen := a.Gen()
 	for d := 0; d < nd; d++ {
 		if lo, hi := bounds[d], bounds[d+1]; hi > lo {
-			atomic.AddInt64(&s.arrivedCost[d], cost[d])
+			if st == nil {
+				atomic.AddInt64(&s.arrivedCost[d], cost[d])
+			}
 			s.tasks[d].sendBatch(buf[lo:hi:hi], bb, gen)
 		}
 	}
@@ -459,6 +518,9 @@ func (s *Stage) StartInterval(interval int64) {
 // interval is in the downstream stage's queues (or held by its pause
 // epoch) and the downstream stage may be closed in turn.
 func (s *Stage) CloseInterval() {
+	// Fold split replicas home first: FlushInterval hooks (and the
+	// harvest after them) must see canonical state.
+	s.foldSplits()
 	dones := make([]chan struct{}, len(s.tasks))
 	for i, t := range s.tasks {
 		dones[i] = t.closeInterval()
@@ -471,6 +533,7 @@ func (s *Stage) CloseInterval() {
 // FlushOps invokes FlushInterval on every task whose operator
 // implements engine.IntervalFlusher, on the task goroutine.
 func (s *Stage) FlushOps() {
+	s.foldSplits()
 	for _, t := range s.tasks {
 		if f, ok := t.op.(IntervalFlusher); ok {
 			t.barrier(func(ctx *TaskCtx) { f.FlushInterval(ctx) })
@@ -512,6 +575,10 @@ func (s *Stage) ArrivedTuples() []int64 { return s.arrivedTuples }
 // hash destinations from the assignment router when present. Arrival
 // accounting is reset.
 func (s *Stage) EndInterval(interval int64) *stats.Snapshot {
+	// Idempotent re-fold (zero cells skip): callers that harvest
+	// without a prior CloseInterval/FlushOps still get home-complete
+	// statistics.
+	s.foldSplits()
 	snap := &stats.Snapshot{Interval: interval, ND: len(s.tasks)}
 	// The assignment is resolved once, outside the thunks: it is an
 	// immutable snapshot, safe for concurrent HashDest reads, and no
@@ -673,13 +740,47 @@ func (s *Stage) applyPlanPauseFree(plan *balance.Plan, obs MigrationObserver, ar
 	s.migMu.Lock()
 	defer s.migMu.Unlock()
 	old := ar.Assignment()
+	st := old.Splits()
+	tbl := plan.Table.Clone()
 	moves := make([]keyMove, 0, len(plan.Moved))
 	for _, k := range plan.Moved {
+		if st != nil {
+			if _, split := st.Lookup(k); split {
+				continue // pinned below; never a state move while split
+			}
+		}
 		if src, dst := old.Dest(k), plan.MoveDest[k]; src != dst {
 			moves = append(moves, keyMove{k: k, src: src, dst: dst})
 		}
 	}
-	return s.applyMovesLive(route.NewAssignment(plan.Table.Clone(), old.Hasher()), moves, obs, ar)
+	if st != nil {
+		// A split key cannot migrate: its replica ring and home-charged
+		// accounting are anchored to Home. The controller strips such
+		// moves before planning around them (controller.SplitPinned);
+		// this is the stage-level backstop for raw callers — patch the
+		// incoming table so F(k) keeps resolving to the split home, and
+		// count every pin.
+		hash := old.Hasher()
+		st.Each(func(sp *route.Split) {
+			cur := hash.Hash(sp.Key)
+			if d, ok := tbl.Lookup(sp.Key); ok {
+				cur = d
+			}
+			if cur == sp.Home {
+				return
+			}
+			s.splitPinned.Add(1)
+			if hash.Hash(sp.Key) == sp.Home {
+				tbl.Delete(sp.Key)
+			} else {
+				tbl.Put(sp.Key, sp.Home)
+			}
+		})
+	}
+	next := route.NewAssignment(tbl, old.Hasher())
+	// The split set rides across plan publications untouched.
+	next.SetSplits(st)
+	return s.applyMovesLive(next, moves, obs, ar)
 }
 
 // applyMovesLive is the pause-free migration sequencer — the epoch
@@ -878,11 +979,15 @@ func (s *Stage) ScaleOutObserved(obs MigrationObserver) (int64, error) {
 	if ar == nil {
 		return 0, fmt.Errorf("engine: stage %q: scale-out requires an assignment router", s.Name)
 	}
-	old := ar.Assignment()
-	ring, ok := old.Hasher().(*hashring.Ring)
-	if !ok {
+	if _, ok := ar.Assignment().Hasher().(*hashring.Ring); !ok {
 		return 0, fmt.Errorf("engine: stage %q: scale-out requires a consistent-hash ring hasher", s.Name)
 	}
+	// Fold back and retire every split before the ring changes: replica
+	// rings are anchored to the pre-resize instance count. The detector
+	// re-splits on the next interval's evidence.
+	s.clearSplits(ar)
+	old := ar.Assignment()
+	ring := old.Hasher().(*hashring.Ring)
 	newHash := ring.Grow()
 
 	id := len(s.tasks)
@@ -936,11 +1041,14 @@ func (s *Stage) ScaleInObserved(obs MigrationObserver) (int64, error) {
 	if len(s.tasks) < 2 {
 		return 0, fmt.Errorf("engine: stage %q cannot retire its only instance", s.Name)
 	}
-	old := ar.Assignment()
-	ring, ok := old.Hasher().(*hashring.Ring)
-	if !ok {
+	if _, ok := ar.Assignment().Hasher().(*hashring.Ring); !ok {
 		return 0, fmt.Errorf("engine: stage %q: scale-in requires a consistent-hash ring hasher", s.Name)
 	}
+	// As in scale-out: the split set folds back before the ring shrinks
+	// (a replica ring could otherwise reference the retiring instance).
+	s.clearSplits(ar)
+	old := ar.Assignment()
+	ring := old.Hasher().(*hashring.Ring)
 	rid := len(s.tasks) - 1
 	retiring := s.tasks[rid]
 

@@ -66,6 +66,32 @@ type task struct {
 	// old-generation tuple can remain in flight.
 	handoff map[tuple.Key][]tuple.Tuple
 	reroute map[tuple.Key]uint64
+
+	// Hot-key split state, likewise confined to the task goroutine.
+	// split holds one commutative delta cell per split key this task
+	// replicates: tuples for those keys are absorbed into the cell
+	// (operator delta + arrival sums) instead of processed, and the
+	// interval-close fold drains the cells back to each key's home
+	// task. folder caches the operator's SplitFolder assertion.
+	split  map[tuple.Key]*splitCell
+	folder SplitFolder
+}
+
+// splitCell accumulates one split key's replica-side contribution
+// since the last fold: the operator's commutative delta plus the
+// cost/frequency/state sums the home task's tracker and processed-work
+// accounting will absorb. Every field is a plain integer sum, so
+// folding replicas in any order reconstructs exactly the cell an
+// unsplit run would have accumulated.
+type splitCell struct {
+	delta int64
+	cost  int64
+	freq  int64
+	mem   int64
+}
+
+func (c *splitCell) zero() bool {
+	return c.delta == 0 && c.cost == 0 && c.freq == 0 && c.mem == 0
 }
 
 // taskQueueDepth sizes each instance's input channel. Deep enough that
@@ -75,12 +101,14 @@ const taskQueueDepth = 4096
 
 func newTask(id int, op Operator, window int, stage *Stage) *task {
 	opB, _ := op.(BatchOperator)
+	folder, _ := op.(SplitFolder)
 	t := &task{
-		id:    id,
-		in:    make(chan message, taskQueueDepth),
-		op:    op,
-		opB:   opB,
-		stage: stage,
+		id:     id,
+		in:     make(chan message, taskQueueDepth),
+		op:     op,
+		opB:    opB,
+		folder: folder,
+		stage:  stage,
 		ctx: &TaskCtx{
 			ID:      id,
 			Store:   state.NewStore(window),
@@ -106,6 +134,9 @@ func (t *task) loop() {
 			if len(t.handoff)+len(t.reroute) != 0 {
 				ts = t.divert(ts, m.gen)
 			}
+			if len(t.split) != 0 && len(ts) > 0 {
+				ts = t.absorbSplit(ts)
+			}
 			if len(ts) > 0 {
 				if t.opB != nil {
 					t.opB.ProcessBatch(t.ctx, ts)
@@ -128,6 +159,12 @@ func (t *task) loop() {
 				}
 				if _, ok := t.reroute[m.t.Key]; ok {
 					t.stage.Feed(m.t)
+					continue
+				}
+			}
+			if len(t.split) != 0 {
+				if c, ok := t.split[m.t.Key]; ok {
+					t.absorbOne(c, m.t)
 					continue
 				}
 			}
@@ -179,6 +216,53 @@ func (t *task) divert(ts []tuple.Tuple, gen uint64) []tuple.Tuple {
 	return keep
 }
 
+// absorbSplit is the hot-key replica path, entered only while this
+// task replicates at least one split key. It compacts ts in place to
+// the tuples this task should process normally; tuples for split keys
+// are reduced into their delta cells — no operator state, no tracker
+// observation, no processed-work accounting here. Everything the home
+// task would have recorded is reconstructed from the cell sums at fold
+// time, so the replica stays invisible to every interval observable.
+func (t *task) absorbSplit(ts []tuple.Tuple) []tuple.Tuple {
+	keep := ts[:0]
+	for i := range ts {
+		if c, ok := t.split[ts[i].Key]; ok {
+			t.absorbOne(c, ts[i])
+			continue
+		}
+		keep = append(keep, ts[i])
+	}
+	return keep
+}
+
+// absorbOne folds a single split-key tuple into its delta cell.
+func (t *task) absorbOne(c *splitCell, tp tuple.Tuple) {
+	if t.folder != nil {
+		c.delta += t.folder.SplitAbsorb(tp)
+	}
+	c.cost += tp.Cost
+	c.freq++
+	c.mem += tp.StateSize
+}
+
+// armSplit enqueues the control thunk that opens delta cells for keys
+// on this (replica) task. Like armHandoff it is called *before* the
+// assignment swap that publishes the split, so channel FIFO guarantees
+// the cells exist before the first split-routed tuple is dequeued.
+// Already-armed keys keep their cell (fan growth re-arms survivors).
+func (t *task) armSplit(keys []tuple.Key) {
+	t.in <- message{ctrl: func(*TaskCtx) {
+		if t.split == nil {
+			t.split = make(map[tuple.Key]*splitCell)
+		}
+		for _, k := range keys {
+			if _, ok := t.split[k]; !ok {
+				t.split[k] = new(splitCell)
+			}
+		}
+	}}
+}
+
 // bufferHandoff parks one tuple in key k's handoff buffer. The buffer
 // is bounded softly: beyond handoffSoftCap the overflow is counted on
 // the stage (observable backpressure signal) but the tuple is still
@@ -221,6 +305,16 @@ func (t *task) replayHandoff(ctx *TaskCtx, k tuple.Key) {
 	}
 	delete(t.handoff, k)
 	if len(buf) == 0 {
+		return
+	}
+	// A replayed key may have become split while its state was in
+	// flight (a non-split key's migration and a split announcement can
+	// land in the same control round): absorb instead of processing so
+	// the replica contract holds for the parked tuples too.
+	if c, ok := t.split[k]; ok {
+		for i := range buf {
+			t.absorbOne(c, buf[i])
+		}
 		return
 	}
 	if t.opB != nil {

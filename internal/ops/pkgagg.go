@@ -41,6 +41,20 @@ func (p *PartialCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
 	}
 }
 
+// SplitAbsorb implements engine.SplitFolder: the partial count is an
+// occurrence sum, so the replica delta is the tuple count.
+func (p *PartialCount) SplitAbsorb(t tuple.Tuple) int64 { return 1 }
+
+// SplitMerge folds replica occurrences back into the home partial.
+// The fold runs before FlushInterval, so the emitted partials (and
+// Published) match an unsplit run exactly.
+func (p *PartialCount) SplitMerge(ctx *engine.TaskCtx, k tuple.Key, delta, freq, mem int64) {
+	if delta == 0 {
+		return
+	}
+	p.partial[k] += delta
+}
+
 // FlushInterval implements engine.IntervalFlusher: emit one partial per
 // touched key, then reset.
 func (p *PartialCount) FlushInterval(ctx *engine.TaskCtx) {
@@ -93,6 +107,22 @@ func (m *MergeCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
 		v, _ := ts[i].Value.(int64)
 		mg.Add(ts[i].Key, v)
 	}
+}
+
+// SplitAbsorb implements engine.SplitFolder: partial tuples carry an
+// int64 count, and the merge is a per-key sum — the delta is the sum
+// of absorbed partial values.
+func (m *MergeCount) SplitAbsorb(t tuple.Tuple) int64 {
+	v, _ := t.Value.(int64)
+	return v
+}
+
+// SplitMerge folds the summed replica partials into the home merger.
+func (m *MergeCount) SplitMerge(ctx *engine.TaskCtx, k tuple.Key, delta, freq, mem int64) {
+	if freq == 0 {
+		return
+	}
+	m.M.Add(k, delta)
 }
 
 // FlushInterval implements engine.IntervalFlusher (period-p merge).

@@ -41,6 +41,21 @@ func (w *WordCount) ProcessBatch(ctx *engine.TaskCtx, ts []tuple.Tuple) {
 	}
 }
 
+// SplitAbsorb implements engine.SplitFolder: one tuple contributes one
+// occurrence, so the commutative replica delta is the tuple count.
+func (w *WordCount) SplitAbsorb(t tuple.Tuple) int64 { return 1 }
+
+// SplitMerge folds the replicas' summed occurrences back into the home
+// instance's count and windowed state — delta occurrences carrying mem
+// bytes of state land exactly as freq Process calls would have.
+func (w *WordCount) SplitMerge(ctx *engine.TaskCtx, k tuple.Key, delta, freq, mem int64) {
+	if freq == 0 {
+		return
+	}
+	w.counts[k] += delta
+	ctx.Store.Add(k, state.Entry{Value: delta, Size: mem})
+}
+
 // Count returns the instance-local total for a key.
 func (w *WordCount) Count(k tuple.Key) int64 { return w.counts[k] }
 

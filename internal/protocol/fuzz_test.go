@@ -44,13 +44,16 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		}
 		return out
 	}
-	switch kind % 6 {
+	switch kind % 7 {
 	case 0:
 		rep := &LoadReport{
 			TaskID: r.intn(32), Interval: int64(r.intn(1000)),
 			Tasks: r.intn(32) + 1, Capacity: int64(r.next() % 1e6),
 			Emitted: int64(r.next() % 1e6), Budget: int64(r.next() % 1e6),
 			Routable: r.intn(2) == 0, Resizable: r.intn(2) == 0,
+		}
+		for i := 0; i < r.intn(n+1); i++ {
+			rep.Split = append(rep.Split, tuple.Key(r.next()))
 		}
 		for i := 0; i < n; i++ {
 			rep.Stats = append(rep.Stats, KeyStatWire{
@@ -89,8 +92,14 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		}}
 	case 4:
 		return &Message{Ack: &Ack{TaskID: r.intn(64), Interval: int64(r.intn(1000))}}
-	default:
+	case 5:
 		return &Message{Resume: &Resume{Interval: int64(r.intn(1000))}}
+	default:
+		ann := &SplitAnnounce{Interval: int64(r.intn(1000))}
+		for i := 0; i < n%64; i++ {
+			ann.Set = append(ann.Set, SplitEntry{Key: tuple.Key(r.next()), Fan: r.intn(16) + 2})
+		}
+		return &Message{Split: ann}
 	}
 }
 
@@ -101,7 +110,7 @@ func buildMessage(seed uint64, kind, n int) *Message {
 // single-entry and many-entry sizes (empty routing tables, multi-entry
 // Moved sets included).
 func FuzzCodecRoundTrip(f *testing.F) {
-	for kind := 0; kind < 6; kind++ {
+	for kind := 0; kind < 7; kind++ {
 		for _, n := range []int{0, 1, 17} {
 			f.Add(uint64(kind*31+n), kind, n)
 		}
@@ -156,7 +165,17 @@ func normalize(m *Message) *Message {
 		if r.Stats == nil {
 			r.Stats = []KeyStatWire{}
 		}
+		if r.Split == nil {
+			r.Split = []tuple.Key{}
+		}
 		c.Report = &r
+	}
+	if c.Split != nil {
+		s := *c.Split
+		if s.Set == nil {
+			s.Set = []SplitEntry{}
+		}
+		c.Split = &s
 	}
 	if c.Plan != nil {
 		p := *c.Plan

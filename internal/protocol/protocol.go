@@ -61,6 +61,10 @@ type LoadReport struct {
 	Budget    int64
 	Routable  bool
 	Resizable bool
+	// Split lists the stage's currently split hot keys (ascending), so
+	// the controller's plan guard sees the live set without a second
+	// channel.
+	Split []tuple.Key
 }
 
 // RouteEntry is one routing-table pair (k, d).
@@ -89,6 +93,25 @@ type PlanAnnounce struct {
 type Resize struct {
 	Interval int64
 	Delta    int
+}
+
+// SplitEntry is one hot key's split directive: replicate across Fan
+// instances. The receiving stage resolves the replica ring (home +
+// Fan−1 successors) from its live assignment at apply time, so the
+// announcement stays valid across a rebalance applied earlier in the
+// same round.
+type SplitEntry struct {
+	Key tuple.Key
+	Fan int
+}
+
+// SplitAnnounce publishes the complete hot-key split set for the
+// interval: keys present become (or stay) split, keys absent fold
+// back. Like every command it is Acked when applied (or rejected as a
+// hold) so the round stays in step.
+type SplitAnnounce struct {
+	Interval int64
+	Set      []SplitEntry
 }
 
 // StateTransfer is step 5: one key's serialized windowed state moving
@@ -121,6 +144,7 @@ type Message struct {
 	Report    *LoadReport
 	Plan      *PlanAnnounce
 	ResizeCmd *Resize
+	Split     *SplitAnnounce
 	State     *StateTransfer
 	Ack       *Ack
 	Resume    *Resume
@@ -135,6 +159,8 @@ func (m *Message) Kind() string {
 		return "plan"
 	case m.ResizeCmd != nil:
 		return "resize"
+	case m.Split != nil:
+		return "split"
 	case m.State != nil:
 		return "state"
 	case m.Ack != nil:
@@ -209,7 +235,7 @@ func MergeReports(reports []*LoadReport) map[tuple.Key]stats.KeyStat {
 // run is an order-preserving subsequence of a KeyStatLess-sorted
 // slice, SnapshotFromReports reassembles the original snapshot
 // bit-identically through stats.MergeRuns.
-func ReportsFromSnapshot(snap *stats.Snapshot, tasks int, capacity, emitted, budget int64, routable, resizable bool) []*LoadReport {
+func ReportsFromSnapshot(snap *stats.Snapshot, tasks int, capacity, emitted, budget int64, routable, resizable bool, split []tuple.Key) []*LoadReport {
 	reports := make([]*LoadReport, tasks)
 	// One backing array for every report's stats, carved into per-task
 	// subslices — the split runs once per stage per interval, so its
@@ -223,9 +249,9 @@ func ReportsFromSnapshot(snap *stats.Snapshot, tasks int, capacity, emitted, bud
 	for d := range reports {
 		reports[d] = &LoadReport{
 			TaskID: d, Interval: snap.Interval,
-			Stats: backing[off:off : off+counts[d]],
+			Stats: backing[off : off : off+counts[d]],
 			Tasks: tasks, Capacity: capacity, Emitted: emitted, Budget: budget,
-			Routable: routable, Resizable: resizable,
+			Routable: routable, Resizable: resizable, Split: split,
 		}
 		off += counts[d]
 	}

@@ -118,6 +118,11 @@ type Assignment struct {
 	// routing epoch it was resolved under — the wait-free migration
 	// protocol's double-delivery guard. 0 until stamped.
 	gen uint64
+	// splits is the hot-key split set published alongside the table
+	// through the same atomic pointer, so feeders resolve split routing
+	// and ring routing from one wait-free load. nil means no key is
+	// split — the cold path costs a single nil check per batch.
+	splits *SplitTable
 }
 
 // NewAssignment pairs a routing table with a hasher. A nil table is
@@ -201,6 +206,21 @@ func (a *Assignment) HashDest(k tuple.Key) int { return a.hash.Hash(k) }
 // Gen returns the publication generation stamped by the router that
 // made this assignment live (0 for assignments never published).
 func (a *Assignment) Gen() uint64 { return a.gen }
+
+// Splits returns the hot-key split set carried by this assignment, or
+// nil when no key is split.
+func (a *Assignment) Splits() *SplitTable { return a.splits }
+
+// SetSplits attaches a split set. Like StampGen it may only be called
+// before the atomic store that publishes the assignment; an empty
+// table is normalized to nil so the feed path's cold check stays a
+// nil test.
+func (a *Assignment) SetSplits(st *SplitTable) {
+	if st != nil && st.Len() == 0 {
+		st = nil
+	}
+	a.splits = st
+}
 
 // StampGen records the publication generation. It is called exactly
 // once by the publishing router, before the atomic store that makes

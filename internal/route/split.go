@@ -1,0 +1,93 @@
+package route
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/tuple"
+)
+
+// Split is one hot key's replica set: the key fans out round-robin
+// across Replicas on the feed path while every observable (arrival
+// accounting, statistics, snapshots) stays charged to Home, the
+// destination the assignment function F(k) resolves to. Home is always
+// a member of Replicas, so the unsplit routing decision is one of the
+// split ones — folding the replicas' commutative deltas back into Home
+// at interval close reconstructs the unsplit run exactly.
+type Split struct {
+	Key      tuple.Key
+	Home     int
+	Replicas []int
+	// ctr is the round-robin cursor. It is the only mutable word on the
+	// split-routing path and is deliberately shared across assignment
+	// generations (the cursor is a scheduling hint, not an observable).
+	ctr atomic.Uint64
+}
+
+// NewSplit builds a split for k fanning out over fan consecutive
+// instances starting at home (mod nd). fan is clamped to [2, nd].
+func NewSplit(k tuple.Key, home, fan, nd int) *Split {
+	if fan < 2 {
+		fan = 2
+	}
+	if fan > nd {
+		fan = nd
+	}
+	reps := make([]int, fan)
+	for i := range reps {
+		reps[i] = (home + i) % nd
+	}
+	return &Split{Key: k, Home: home, Replicas: reps}
+}
+
+// Pick returns the next replica in round-robin order. It is wait-free
+// (one atomic add) and safe for concurrent feeders.
+func (s *Split) Pick() int {
+	i := s.ctr.Add(1) - 1
+	return s.Replicas[i%uint64(len(s.Replicas))]
+}
+
+// Fan returns the replica count.
+func (s *Split) Fan() int { return len(s.Replicas) }
+
+// SplitTable is the set of currently split keys. Like Table it is an
+// immutable snapshot once published through an Assignment; transitions
+// install a fresh table via the same atomic pointer swap that
+// publishes routing generations.
+type SplitTable struct {
+	m map[tuple.Key]*Split
+}
+
+// NewSplitTable returns an empty split table.
+func NewSplitTable() *SplitTable {
+	return &SplitTable{m: make(map[tuple.Key]*Split)}
+}
+
+// Put inserts or replaces the split for s.Key.
+func (t *SplitTable) Put(s *Split) { t.m[s.Key] = s }
+
+// Lookup returns the split for k and whether one exists.
+func (t *SplitTable) Lookup(k tuple.Key) (*Split, bool) {
+	s, ok := t.m[k]
+	return s, ok
+}
+
+// Len returns the number of split keys.
+func (t *SplitTable) Len() int { return len(t.m) }
+
+// Keys returns the split keys in ascending order.
+func (t *SplitTable) Keys() []tuple.Key {
+	ks := make([]tuple.Key, 0, len(t.m))
+	for k := range t.m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Each calls fn for every split in unspecified order.
+func (t *SplitTable) Each(fn func(*Split)) {
+	for _, s := range t.m {
+		fn(s)
+	}
+}

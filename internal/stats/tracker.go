@@ -225,6 +225,22 @@ func (t *Tracker) ObserveBatch(ts []tuple.Tuple) int64 {
 	return total
 }
 
+// AbsorbKey folds an already-aggregated (cost, freq, mem) contribution
+// into k's current-interval cell. The hot-key fold-back path uses it
+// to charge a split key's replica work to the key's home task before
+// harvest: the adds are plain integer sums, so absorbing replica
+// deltas in any order yields the same cell an unsplit run would have
+// accumulated tuple by tuple.
+func (t *Tracker) AbsorbKey(k tuple.Key, cost, freq, mem int64) {
+	if cost == 0 && freq == 0 && mem == 0 {
+		return
+	}
+	c := t.cur.upsert(k)
+	c.cost += cost
+	c.freq += freq
+	c.mem += mem
+}
+
 // DropKey forgets all history for k. The state store calls this when a
 // key's state migrates away so the source task stops reporting it.
 func (t *Tracker) DropKey(k tuple.Key) {
@@ -274,6 +290,78 @@ func (t *Tracker) EndInterval() map[tuple.Key]KeyStat {
 	return out
 }
 
+// TopK returns the n hottest keys of the interval in progress without
+// closing it: the result is exactly the first n entries of
+// SortByCostDesc over the map EndInterval would return right now
+// (same cost/freq, same post-roll windowed memory), but computed with
+// one bounded min-heap over the live cells — O(keys · log n) time and
+// O(n) allocation instead of materializing the full map. The hot-key
+// detector polls it every interval.
+func (t *Tracker) TopK(n int) []KeyStat {
+	if n <= 0 || t.cur.n == 0 {
+		return nil
+	}
+	// colder orders by the inverse of KeyStatLess (Dest is zero for
+	// every candidate, matching EndInterval's map), so the heap root is
+	// always the weakest current member.
+	colder := func(a, b KeyStat) bool {
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.Key > b.Key
+	}
+	heap := make([]KeyStat, 0, n)
+	t.cur.each(func(c *cell) {
+		ks := KeyStat{Key: c.key, Cost: c.cost, Freq: c.freq, Mem: c.mem}
+		if len(heap) < n {
+			heap = append(heap, ks)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !colder(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			return
+		}
+		if !colder(heap[0], ks) {
+			return
+		}
+		heap[0] = ks
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && colder(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && colder(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	})
+	// EndInterval reports Mem post-roll: the current interval's state
+	// lands in slot t.next (evicting the interval from w ago) and then
+	// S(k, w) sums the whole ring. Equivalently, for a live cell: its
+	// current mem plus every finished slot except the one about to be
+	// evicted.
+	for i := range heap {
+		for j, h := range t.hist {
+			if j == t.next {
+				continue
+			}
+			heap[i].Mem += h[heap[i].Key]
+		}
+	}
+	SortByCostDesc(heap)
+	return heap
+}
+
 // WindowedMem returns S(k, w) = Σ_{j=i-w+1..i} s_j(k) over the finished
 // intervals currently in the window.
 func (t *Tracker) WindowedMem(k tuple.Key) int64 {
@@ -293,7 +381,13 @@ func (t *Tracker) Finished() int64 { return t.finished }
 // reports, so tracker history migrates along with state even for keys
 // whose windowed state has already shrunk to zero.
 func (t *Tracker) Keys() []tuple.Key {
-	seen := make(map[tuple.Key]struct{})
+	hint := t.cur.n
+	for _, h := range t.hist {
+		if len(h) > hint {
+			hint = len(h)
+		}
+	}
+	seen := make(map[tuple.Key]struct{}, hint)
 	t.cur.each(func(c *cell) { seen[c.key] = struct{}{} })
 	for _, h := range t.hist {
 		for k := range h {

@@ -251,27 +251,30 @@ func AdvanceEach(fn func(interval int64)) Option {
 
 // stageSpec is one declared stage, defaults unresolved until Build.
 type stageSpec struct {
-	name      string
-	op        func(id int) engine.Operator
-	instances int
-	window    int
-	alg       Algorithm
-	router    engine.Router
-	routerFn  func(nd int) engine.Router
-	planner   balance.Planner
-	plannerOn bool // WithPlanner given (overrides the alg-derived one)
-	theta     float64
-	tableMax  int
-	beta      float64
-	compactR  int64
-	sigma     float64
-	minKeys   int
-	planEvery time.Duration
-	capacity  int64
-	target    bool
-	policies  []control.Policy
-	hooks     []engine.SnapshotHook
-	hookers   []StageHooker
+	name       string
+	op         func(id int) engine.Operator
+	instances  int
+	window     int
+	alg        Algorithm
+	router     engine.Router
+	routerFn   func(nd int) engine.Router
+	planner    balance.Planner
+	plannerOn  bool // WithPlanner given (overrides the alg-derived one)
+	theta      float64
+	tableMax   int
+	beta       float64
+	compactR   int64
+	sigma      float64
+	minKeys    int
+	planEvery  time.Duration
+	capacity   int64
+	target     bool
+	splitOn    bool
+	splitMax   int
+	splitRatio float64
+	policies   []control.Policy
+	hooks      []engine.SnapshotHook
+	hookers    []StageHooker
 }
 
 // StageOption is a per-stage construction option for Builder.Stage.
@@ -374,6 +377,27 @@ func Capacity(c int64) StageOption { return func(s *stageSpec) { s.capacity = c 
 // (the operator under study). Default: the first stage.
 func Target() StageOption { return func(s *stageSpec) { s.target = true } }
 
+// HotKeySplit arms contention-aware hot-key splitting on this stage: a
+// detector policy (controller.Splitter) watches the interval snapshots
+// and splits at most maxKeys keys across replica sets whenever a
+// single key's interval cost reaches threshold × the per-task service
+// capacity, folding each key back once it cools. Split-key tuples fan
+// out round-robin on the wait-free feed path; replicas hold commutative
+// deltas that fold into the key's home before every harvest, so all
+// observables stay bit-identical to an unsplit run. threshold ≤ 0
+// defaults to 1 (split when one key alone saturates a task). Requires
+// pause-free migration — Build panics if the topology selected
+// PausingMigration — and composes with a rebalance algorithm: split
+// keys are pinned to their home while split, everything else
+// rebalances normally.
+func HotKeySplit(maxKeys int, threshold float64) StageOption {
+	return func(s *stageSpec) {
+		s.splitOn = true
+		s.splitMax = maxKeys
+		s.splitRatio = threshold
+	}
+}
+
 // WithPolicy attaches an additional control.Policy to this stage's
 // control loop, after the builder-created rebalance controller (if
 // any): each interval the loop hands the stage's snapshot to every
@@ -415,10 +439,11 @@ func WithStageHook(h StageHooker) StageOption {
 // System is a built topology: the engine plus the per-stage
 // controllers and control loops the builder created.
 type System struct {
-	Engine *engine.Engine
-	ctls   []*controller.Controller
-	loops  []*control.Loop // per stage; nil for stages without policies
-	byName map[string]int
+	Engine    *engine.Engine
+	ctls      []*controller.Controller
+	splitters []*controller.Splitter // per stage; nil unless HotKeySplit
+	loops     []*control.Loop        // per stage; nil for stages without policies
+	byName    map[string]int
 }
 
 // Build resolves defaults and assembles the engine, stages and
@@ -471,6 +496,9 @@ func (b *Builder) Build() *System {
 			// nothing has been built yet.
 			s.planner, s.plannerOn = PlannerFor(s.alg, s.compactR, s.sigma), true
 		}
+		if s.splitOn && !b.ecfg.PauseFree {
+			panic(fmt.Sprintf("topology: stage %q: HotKeySplit requires pause-free migration (incompatible with PausingMigration)", s.name))
+		}
 	}
 	if target < 0 {
 		target = 0
@@ -513,10 +541,11 @@ func (b *Builder) Build() *System {
 	e.AdvanceWorkload = b.advance
 
 	sys := &System{
-		Engine: e,
-		ctls:   make([]*controller.Controller, len(b.stages)),
-		loops:  make([]*control.Loop, len(b.stages)),
-		byName: names,
+		Engine:    e,
+		ctls:      make([]*controller.Controller, len(b.stages)),
+		splitters: make([]*controller.Splitter, len(b.stages)),
+		loops:     make([]*control.Loop, len(b.stages)),
+		byName:    names,
 	}
 	for si, s := range b.stages {
 		if c := s.capacity; c != 0 {
@@ -548,6 +577,11 @@ func (b *Builder) Build() *System {
 			ctl.IntervalDuration = s.planEvery
 			policies = append(policies, ctl)
 			sys.ctls[si] = ctl
+		}
+		if s.splitOn {
+			sp := controller.NewSplitter(s.splitMax, s.splitRatio)
+			policies = append(policies, sp)
+			sys.splitters[si] = sp
 		}
 		policies = append(policies, s.policies...)
 		if len(policies) > 0 {
@@ -619,6 +653,10 @@ func (s *System) ControllerNamed(name string) *controller.Controller {
 	}
 	return s.ctls[si]
 }
+
+// Splitter returns stage si's hot-key split policy, or nil for stages
+// built without HotKeySplit.
+func (s *System) Splitter(si int) *controller.Splitter { return s.splitters[si] }
 
 // Rebalances sums applied plans across every controller-managed stage.
 func (s *System) Rebalances() int {
