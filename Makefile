@@ -6,7 +6,7 @@ FEEDERS ?= 1
 # Zipf skews for the hot-key splitting sweep (split on vs off each).
 THETAS ?= 0.99,1.2,1.5
 
-.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control bench-hotkey exhibits smoke-examples
+.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control bench-harvest bench-hotkey exhibits smoke-examples
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -46,8 +46,18 @@ bench-multistage:
 ## RebalanceLatency is the migration-mode comparison: p50/p99 feed
 ## latency with and without a concurrent plan, pausing vs pause-free —
 ## the pause-free protocol's p99 must stay flat across a rebalance.
+## WireCodec isolates the gob codec's per-message cost (the retained
+## staging buffer keeps allocs/msg flat as report populations grow).
 bench-control:
-	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval|RebalanceLatency' -benchtime 1s ./internal/control/
+	$(GO) test -run '^$$' -bench 'ControlRound|EngineInterval|RebalanceLatency|WireCodec' -benchmem -benchtime 1s ./internal/control/
+
+## bench-harvest: the tracked-key population sweep — each -keys value
+## measured through interval close + one wire control round with a 1k
+## working set, full harvest vs incremental, written into
+## BENCH_dataplane.json's harvest_sweep section. The delta column's
+## "vs full" ratios are the O(keys) → O(Δkeys) control-cost claim.
+bench-harvest:
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -theta $(THETAS) -keys 4096,16384,65536
 
 ## bench-hotkey: just the hot-key splitting θ-sweep (split on vs off at
 ## each skew, tuples/sec + worst-interval feed p50/p99 + max split

@@ -17,6 +17,11 @@
 //	                           # additionally benchmark a 2-stage
 //	                           # topology end to end, pipelined vs
 //	                           # store-and-forward (-msbudget scales it)
+//	benchrunner -dataplane BENCH_dataplane.json -keys 4096,16384,65536
+//	                           # additionally sweep tracked-key
+//	                           # populations through the interval-close
+//	                           # + control-round path, full vs
+//	                           # incremental harvest at a 1k working set
 //	benchrunner -pipeline      # run the exhibits with streaming
 //	                           # inter-stage transfer (A/B against the
 //	                           # default store-and-forward run)
@@ -46,6 +51,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -66,6 +72,7 @@ func main() {
 		multistage = flag.Bool("multistage", false, "with -dataplane: also benchmark a 2-stage topology end to end, store-and-forward vs pipelined transfer")
 		msBudget   = flag.Int64("msbudget", 20000, "per-interval spout budget for the -multistage benchmark (CI smoke uses a tiny value)")
 		thetas     = flag.String("theta", "", "with -dataplane: comma-separated Zipf skews for the hot-key sweep; each θ is measured split-off and split-on (e.g. 0.99,1.2,1.5)")
+		keysF      = flag.String("keys", "", "with -dataplane: comma-separated tracked-key populations for the harvest sweep; each is measured through interval close + one control round over the wire, full vs incremental harvest, with a 1k working set (e.g. 4096,16384,65536)")
 		pipeline   = flag.Bool("pipeline", false, "run the exhibits with streaming inter-stage transfer (outputs match the default store-and-forward run on key-partitioned stages; fig01's shuffle stages may interleave on multicore)")
 	)
 	flag.Parse()
@@ -88,9 +95,20 @@ func main() {
 			sweep = append(sweep, v)
 		}
 	}
+	var keySweep []int
+	if *keysF != "" {
+		for _, f := range strings.Split(*keysF, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad -keys value %q\n", f)
+				os.Exit(2)
+			}
+			keySweep = append(keySweep, v)
+		}
+	}
 	experiments.SetPipeline(*pipeline)
 	if *dataplane != "" {
-		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget, sweep); err != nil {
+		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget, sweep, keySweep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -165,6 +183,109 @@ type dataplaneReport struct {
 	// with hot-key splitting off and on, so the report records where
 	// per-key replication starts to pay on this host.
 	Sweep []sweepPoint `json:"hotkey_sweep,omitempty"`
+	// HarvestSweep holds the tracked-key population sweep (-keys): each
+	// population measured through interval close plus one wire control
+	// round with a 1k working set, full harvest vs incremental — the
+	// O(keys)-vs-O(Δkeys) control-cost comparison.
+	HarvestSweep []harvestPoint `json:"harvest_sweep,omitempty"`
+}
+
+// harvestPoint is one (population, harvest mode) measurement: mean
+// per-interval close time, mean hold-round time (close + report +
+// decide + resume over the gob wire), and mean LoadReport bytes per
+// round received on the controller side. Mode is "full" (every round
+// re-sends the whole population) or "delta" (rounds ride changed +
+// retired sets).
+type harvestPoint struct {
+	Keys            int     `json:"keys"`
+	Mode            string  `json:"mode"`
+	IntervalCloseUs float64 `json:"interval_close_us"`
+	HoldRoundUs     float64 `json:"hold_round_us"`
+	LoadReportBytes float64 `json:"loadreport_bytes"`
+}
+
+// holdPolicy never commands; harvest-sweep rounds measure pure
+// report-path cost.
+type holdPolicy struct{}
+
+func (holdPolicy) Decide(control.Env, *stats.Snapshot) []control.Command { return nil }
+
+// measureHarvest drives one (population, mode) point: a 4-instance
+// stage tracks nkeys keys, then each measured round touches a 1k
+// working set, closes the interval, and runs one held control round
+// over the wire transport. With HarvestFull the close rebuilds the
+// whole aggregate and the reports re-carry every key; with
+// HarvestIncremental the close merges only the touched keys and the
+// reports carry the delta. The operator is Discard, as in
+// BenchmarkControlRound: the sweep isolates the harvest + report path,
+// not operator state maintenance (which costs the same in both modes).
+func measureHarvest(nkeys int, mode engine.HarvestMode) harvestPoint {
+	const (
+		nd      = 4
+		working = 1024
+		rounds  = 20
+	)
+	pt := harvestPoint{Keys: nkeys, Mode: "full"}
+	if mode == engine.HarvestIncremental {
+		pt.Mode = "delta"
+	}
+	st := engine.NewStage("harvest", nd, func(int) engine.Operator { return engine.Discard }, 1,
+		engine.NewAssignmentRouter(topology.NewAssignment(nd)))
+	cfg := engine.DefaultConfig()
+	cfg.Harvest = mode
+	e := engine.New(func() tuple.Tuple { return tuple.New(0, nil) }, cfg, st)
+	defer e.Stop()
+	loop := control.NewLoop(e, 0, []control.Policy{holdPolicy{}}, control.Wire())
+	defer loop.Close()
+	hook := loop.Hook()
+
+	// Seed the full population, then run two warm-up rounds: the first
+	// hook round always sends full reports (the mirror starts empty),
+	// the second settles the delta path so measured rounds are
+	// steady-state.
+	buf := make([]tuple.Tuple, working)
+	interval := int64(0)
+	round := func(lo int) {
+		for i := range buf {
+			buf[i] = tuple.New(tuple.Key(lo+i), 1)
+		}
+		st.FeedBatch(buf)
+		st.Barrier()
+		interval++
+		t0 := time.Now()
+		snap := st.EndInterval(interval)
+		closed := time.Since(t0)
+		hook(e, 0, snap)
+		hold := time.Since(t0)
+		pt.IntervalCloseUs += float64(closed.Microseconds())
+		pt.HoldRoundUs += float64(hold.Microseconds())
+	}
+	for lo := 0; lo < nkeys; lo += working {
+		n := working
+		if lo+n > nkeys {
+			n = nkeys - lo
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = tuple.New(tuple.Key(lo+i), 1)
+		}
+		st.FeedBatch(buf)
+		st.Barrier()
+	}
+	buf = buf[:working]
+	interval++
+	hook(e, 0, st.EndInterval(interval))
+	round(0)
+	pt.IntervalCloseUs, pt.HoldRoundUs = 0, 0
+	_, rcvd0 := loop.WireBytes()
+	for r := 0; r < rounds; r++ {
+		round((r * working) % nkeys)
+	}
+	_, rcvd1 := loop.WireBytes()
+	pt.IntervalCloseUs /= rounds
+	pt.HoldRoundUs /= rounds
+	pt.LoadReportBytes = float64(rcvd1-rcvd0) / rounds
+	return pt
 }
 
 // sweepPoint is one (θ, split on/off) measurement of the hot-key
@@ -208,7 +329,7 @@ func readDataplaneReport(path string) (*dataplaneReport, error) {
 // multistage_interval = streaming pipeline). When the target file
 // already holds a report, the old numbers are printed next to the new
 // ones so perf PRs can quote the trajectory directly.
-func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64, sweep []float64) error {
+func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64, sweep []float64, keySweep []int) error {
 	// The Feed/FeedBatch micro-measurements drive one stage directly
 	// (no spout, no intervals); the builder still declares it, and
 	// stopping the stage stops every goroutine the topology owns.
@@ -231,7 +352,7 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		return err
 	}
 	report := dataplaneReport{
-		Schema:        "dataplane-v4",
+		Schema:        "dataplane-v5",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		Feeders:       feeders,
@@ -423,6 +544,16 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		}
 	}
 
+	// The harvest sweep: each tracked-key population measured through
+	// the interval-close + control-round path under full and incremental
+	// harvest, identical 1k working sets. The full/delta ratio at large
+	// populations is the O(keys) → O(Δkeys) control-cost claim.
+	for _, nkeys := range keySweep {
+		for _, mode := range []engine.HarvestMode{engine.HarvestFull, engine.HarvestIncremental} {
+			report.HarvestSweep = append(report.HarvestSweep, measureHarvest(nkeys, mode))
+		}
+	}
+
 	// The 2-stage topology end to end: a keyed forwarding map feeding a
 	// keyed sink, the minimal shape where inter-stage transfer cost is
 	// on the critical path. Spout tuples/sec is reported (each spout
@@ -526,6 +657,29 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 				if old.Theta == pt.Theta && old.Split == pt.Split && old.TuplesPerSec > 0 {
 					line += fmt.Sprintf("  (was %.0f, %+.1f%%)",
 						old.TuplesPerSec, 100*(pt.TuplesPerSec-old.TuplesPerSec)/old.TuplesPerSec)
+					break
+				}
+			}
+		}
+		fmt.Println(line)
+	}
+	for _, pt := range report.HarvestSweep {
+		line := fmt.Sprintf("  harvest keys=%-6d %-5s close %8.1f µs  hold round %8.1f µs  report %8.0f B",
+			pt.Keys, pt.Mode, pt.IntervalCloseUs, pt.HoldRoundUs, pt.LoadReportBytes)
+		if pt.Mode == "delta" {
+			for _, full := range report.HarvestSweep {
+				if full.Keys == pt.Keys && full.Mode == "full" && pt.HoldRoundUs > 0 && pt.LoadReportBytes > 0 {
+					line += fmt.Sprintf("  (vs full: %.1fx round, %.1fx bytes)",
+						full.HoldRoundUs/pt.HoldRoundUs, full.LoadReportBytes/pt.LoadReportBytes)
+					break
+				}
+			}
+		}
+		if comparable {
+			for _, old := range baseline.HarvestSweep {
+				if old.Keys == pt.Keys && old.Mode == pt.Mode && old.HoldRoundUs > 0 {
+					line += fmt.Sprintf("  (was %.1f µs, %+.1f%%)",
+						old.HoldRoundUs, 100*(pt.HoldRoundUs-old.HoldRoundUs)/old.HoldRoundUs)
 					break
 				}
 			}

@@ -1,6 +1,7 @@
 package control_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/protocol"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/tuple"
@@ -108,6 +110,39 @@ func BenchmarkControlRound(b *testing.B) {
 // pauses feeds and drains in-flight sends, so the rebalance case
 // shows a p99 cliff over its steady case; pause-free feeders never
 // block on a plan and p99 stays flat. Run via `make bench-control`.
+// BenchmarkWireCodec measures the gob codec's per-message cost for
+// report traffic at several population sizes — the satellite win here
+// is the retained staging buffer: each Send gob-encodes into a reused
+// bytes.Buffer and hits the transport with one Write, so steady-state
+// allocations per message stay flat as reports grow. Run with
+// -benchmem; B/msg is the encoded wire size.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, keys := range []int{0, 64, 1024} {
+		b.Run(fmt.Sprintf("report/keys=%d", keys), func(b *testing.B) {
+			var buf bytes.Buffer
+			c := protocol.NewCodec(&buf)
+			rep := &protocol.LoadReport{TaskID: 1, Interval: 7, Tasks: 4, Capacity: 1 << 20}
+			for i := 0; i < keys; i++ {
+				rep.Stats = append(rep.Stats, protocol.KeyStatWire{
+					Key: tuple.Key(i), Cost: int64(keys - i), Freq: 1, Mem: 2, Hash: i % 4,
+				})
+			}
+			m := &protocol.Message{Report: rep}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.SentBytes())/float64(b.N), "B/msg")
+		})
+	}
+}
+
 func BenchmarkRebalanceLatency(b *testing.B) {
 	const (
 		nd        = 4

@@ -28,6 +28,15 @@
 // loopback (channel-passed messages); the Wire option runs the same
 // bytes through a gob Codec over a synchronous pipe, pinned equivalent
 // by test, so a multi-process deployment only swaps the Conn.
+//
+// With engine.HarvestIncremental, step 1 rides the delta report form:
+// held rounds send only changed and retired keys, which the Loop's
+// protocol.Mirror folds into retained per-task runs before the merge,
+// so policies decide on the same bit-identical snapshot at O(Δkeys)
+// wire and merge cost. An epoch gap makes the Loop send Resync (the
+// Executor resends the round in full); after any command the Executor
+// forces its next report full and the Loop resets its mirror, keeping
+// both ends in step without negotiation.
 package control
 
 import (

@@ -19,6 +19,14 @@ type Executor struct {
 	e    *engine.Engine
 	si   int
 	conn Conn
+	// needFull forces the next round's reports to the full form. True
+	// initially (the controller's mirror starts empty) and after any
+	// round that carried a command: the command's side effects
+	// (migrations, resizes, split churn) land in the next close's
+	// delta, but the controller forgets its mirror when it commands —
+	// the symmetric rule that keeps both ends in step without
+	// negotiation — so the stage must rebase it.
+	needFull bool
 }
 
 // NewExecutor binds an executor to stage si of e, speaking over conn.
@@ -26,35 +34,69 @@ type Executor struct {
 // executor serves a remote controller (anything answering on conn with
 // the protocol's command messages).
 func NewExecutor(e *engine.Engine, si int, conn Conn) *Executor {
-	return &Executor{e: e, si: si, conn: conn}
+	return &Executor{e: e, si: si, conn: conn, needFull: true}
 }
 
-// RunRound drives one interval's control round: split the harvested
-// snapshot into per-task LoadReports (step 1), then serve the
-// controller's command stream — PlanAnnounce applies through the
-// stage's pause/migrate/resume path, Resize through the engine's
-// elastic actuator, each migration reported as a StateTransfer and
-// each command Acked — until Resume closes the round. The return value
-// summarizes what was applied, in the shape the engine records
-// (nil when the round held, or the transport is gone).
+// RunRound drives one interval's control round: report the interval's
+// statistics (step 1), then serve the controller's command stream —
+// PlanAnnounce applies through the stage's pause/migrate/resume path,
+// Resize through the engine's elastic actuator, each migration
+// reported as a StateTransfer and each command Acked — until Resume
+// closes the round. The return value summarizes what was applied, in
+// the shape the engine records (nil when the round held, or the
+// transport is gone).
+//
+// Under engine.HarvestIncremental the reports are deltas — each task's
+// changed and retired keys against the previous close, O(Δkeys) on the
+// wire — except when the mirror on the other end needs a rebase: the
+// first round, the round after any command, and whenever the
+// controller asks with Resync mid-round.
 func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 	st := x.e.Stages[x.si]
-	reports := protocol.ReportsFromSnapshot(snap, st.Instances(),
-		x.e.CapacityOf(x.si), x.e.LastEmitted(), x.e.Cfg.Budget,
-		st.AssignmentRouter() != nil, x.resizable(), st.SplitKeys())
-	for _, r := range reports {
-		if x.conn.Send(&protocol.Message{Report: r}) != nil {
-			return nil
+	deltas := st.LastDeltas()
+	incremental := st.Harvest() == engine.HarvestIncremental && len(deltas) == st.Instances()
+	sendFull := func() bool {
+		reports := protocol.ReportsFromSnapshot(snap, st.Instances(),
+			x.e.CapacityOf(x.si), x.e.LastEmitted(), x.e.Cfg.Budget,
+			st.AssignmentRouter() != nil, x.resizable(), st.SplitKeys())
+		if incremental {
+			for d := range reports {
+				reports[d].Epoch = deltas[d].Epoch
+			}
 		}
+		for _, r := range reports {
+			if x.conn.Send(&protocol.Message{Report: r}) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	sent := false
+	if incremental && !x.needFull {
+		sent = x.sendDeltas(st, snap, deltas)
+	}
+	if !sent && !sendFull() {
+		x.needFull = true
+		return nil
 	}
 	var reb *engine.Rebalance
+	gotCmd := false
 	for {
 		m, err := x.conn.Recv()
 		if err != nil {
+			x.needFull = true
 			return reb
 		}
 		switch {
+		case m.ResyncReq != nil:
+			// The controller's mirror could not apply this round's
+			// deltas; resend the same interval in full.
+			if !sendFull() {
+				x.needFull = true
+				return reb
+			}
 		case m.Plan != nil:
+			gotCmd = true
 			// Inapplicable commands are rejected as holds, not
 			// panics: the executor may serve a remote controller, and
 			// a malformed command must not crash the driver. The Ack
@@ -80,6 +122,7 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 			}
 			x.ack(m.Plan.Interval)
 		case m.ResizeCmd != nil:
+			gotCmd = true
 			delta := m.ResizeCmd.Delta
 			if !x.canResize(delta) {
 				x.ack(m.ResizeCmd.Interval)
@@ -102,6 +145,7 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 			}
 			x.ack(m.ResizeCmd.Interval)
 		case m.Split != nil:
+			gotCmd = true
 			// Reject-as-hold mirrors the plan path: splitting requires
 			// an assignment router and the pause-free protocol, and
 			// ApplySplitSet re-checks both under its own lock. Nothing
@@ -118,13 +162,53 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 			_ = st.ApplySplitSet(set)
 			x.ack(m.Split.Interval)
 		case m.Resume != nil:
+			// A commanded round rebases the mirror next interval (the
+			// controller forgot it when it commanded); a held round
+			// keeps the delta stream going.
+			x.needFull = gotCmd
 			return reb
 		default:
 			// Protocol violation: bail out of the round rather than
 			// wedge the driver goroutine.
+			x.needFull = true
 			return reb
 		}
 	}
+}
+
+// sendDeltas reports the round as per-task delta reports built from
+// the stage's last retained close: changed entries, retired keys and
+// the close's epoch, with the stage context every report carries.
+// Returns false if the transport is gone.
+func (x *Executor) sendDeltas(st *engine.Stage, snap *stats.Snapshot, deltas []stats.Delta) bool {
+	tasks := st.Instances()
+	capacity, emitted, budget := x.e.CapacityOf(x.si), x.e.LastEmitted(), x.e.Cfg.Budget
+	routable, resizable, split := st.AssignmentRouter() != nil, x.resizable(), st.SplitKeys()
+	total := 0
+	for d := range deltas {
+		total += len(deltas[d].Changed)
+	}
+	// One backing array carved into per-task Changed slices, as
+	// ReportsFromSnapshot does for full reports.
+	backing := make([]protocol.KeyStatWire, 0, total)
+	for d := range deltas {
+		lo := len(backing)
+		for _, ks := range deltas[d].Changed {
+			backing = append(backing, protocol.KeyStatWire{Key: ks.Key, Cost: ks.Cost, Freq: ks.Freq, Mem: ks.Mem, Hash: ks.Hash})
+		}
+		r := &protocol.LoadReport{
+			TaskID: d, Interval: snap.Interval,
+			Epoch: deltas[d].Epoch, Delta: true,
+			Changed: backing[lo:len(backing):len(backing)],
+			Retired: deltas[d].Retired,
+			Tasks:   tasks, Capacity: capacity, Emitted: emitted, Budget: budget,
+			Routable: routable, Resizable: resizable, Split: split,
+		}
+		if x.conn.Send(&protocol.Message{Report: r}) != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // planFits reports whether every destination a plan announce
@@ -202,8 +286,12 @@ type Loop struct {
 	x        *Executor
 	ctrl     Conn
 	policies []Policy
-	wg       sync.WaitGroup
-	once     sync.Once
+	// mirror is the controller-side retained population model that
+	// turns delta reports back into effective full rounds; it is reset
+	// after any commanded round (the stage rebases it next interval).
+	mirror *protocol.Mirror
+	wg     sync.WaitGroup
+	once   sync.Once
 }
 
 // LoopOption configures NewLoop.
@@ -232,7 +320,7 @@ func NewLoop(e *engine.Engine, si int, policies []Policy, opts ...LoopOption) *L
 	} else {
 		agent, ctrl = NewLoopbackPair()
 	}
-	l := &Loop{x: NewExecutor(e, si, agent), ctrl: ctrl, policies: policies}
+	l := &Loop{x: NewExecutor(e, si, agent), ctrl: ctrl, policies: policies, mirror: protocol.NewMirror()}
 	l.wg.Add(1)
 	go l.serve()
 	return l
@@ -313,29 +401,44 @@ func (l *Loop) serve() {
 				}
 			}
 		}
+		if len(cmds) > 0 {
+			// Symmetric to the executor's needFull rule: a commanded
+			// round's side effects land in the next close's delta, so
+			// forget the mirror and expect a full rebase. (Commands the
+			// executor rejected as holds still crossed the wire, so both
+			// ends count them identically.)
+			l.mirror.Reset()
+		}
 		if l.ctrl.Send(&protocol.Message{Resume: &protocol.Resume{Interval: env.Interval}}) != nil {
 			return
 		}
 	}
 }
 
-// recvRound collects one round's load reports and reconstructs the
-// snapshot and stage context.
+// recvRound collects one round's load reports, folds them through the
+// delta mirror (requesting one full resync if the mirror cannot apply
+// them), and reconstructs the snapshot and stage context.
 func (l *Loop) recvRound() (Env, *stats.Snapshot, bool) {
-	first, err := l.ctrl.Recv()
-	if err != nil || first.Report == nil {
+	reports, ok := l.recvReports()
+	if !ok {
 		return Env{}, nil, false
 	}
-	r := first.Report
-	reports := make([]*protocol.LoadReport, 0, r.Tasks)
-	reports = append(reports, r)
-	for len(reports) < r.Tasks {
-		m, err := l.ctrl.Recv()
-		if err != nil || m.Report == nil {
+	eff, err := l.mirror.Apply(reports)
+	if err != nil {
+		// Epoch gap or shape change the mirror cannot bridge: ask the
+		// stage to resend the round in full, then retry once. A second
+		// failure is a protocol violation; give up on the transport.
+		if l.ctrl.Send(&protocol.Message{ResyncReq: &protocol.Resync{Interval: reports[0].Interval}}) != nil {
 			return Env{}, nil, false
 		}
-		reports = append(reports, m.Report)
+		if reports, ok = l.recvReports(); !ok {
+			return Env{}, nil, false
+		}
+		if eff, err = l.mirror.Apply(reports); err != nil {
+			return Env{}, nil, false
+		}
 	}
+	r := reports[0]
 	env := Env{
 		Interval:  r.Interval,
 		Tasks:     r.Tasks,
@@ -346,5 +449,41 @@ func (l *Loop) recvRound() (Env, *stats.Snapshot, bool) {
 		Resizable: r.Resizable,
 		SplitKeys: r.Split,
 	}
-	return env, protocol.SnapshotFromReports(reports), true
+	return env, protocol.SnapshotFromReports(eff), true
+}
+
+// recvReports collects the per-task reports of one round (the first
+// report's Tasks field says how many are coming).
+func (l *Loop) recvReports() ([]*protocol.LoadReport, bool) {
+	first, err := l.ctrl.Recv()
+	if err != nil || first.Report == nil {
+		return nil, false
+	}
+	r := first.Report
+	reports := make([]*protocol.LoadReport, 0, r.Tasks)
+	reports = append(reports, r)
+	for len(reports) < r.Tasks {
+		m, err := l.ctrl.Recv()
+		if err != nil || m.Report == nil {
+			return nil, false
+		}
+		reports = append(reports, m.Report)
+	}
+	return reports, true
+}
+
+// WireBytes reports the cumulative bytes the controller transport has
+// sent and received, when the transport counts them (the gob wire
+// transport does; the in-process loopback moves no bytes and reports
+// zeros). bench-control and the harvest sweep use it to measure
+// control-plane bandwidth.
+func (l *Loop) WireBytes() (sent, rcvd int64) {
+	type counter interface {
+		SentBytes() int64
+		RecvBytes() int64
+	}
+	if c, ok := l.ctrl.(counter); ok {
+		return c.SentBytes(), c.RecvBytes()
+	}
+	return 0, 0
 }

@@ -108,6 +108,18 @@ type Config struct {
 	// protocol, which remains selectable as the equivalence oracle by
 	// leaving this false.
 	PauseFree bool
+	// Harvest selects every stage's interval-close mode. The zero value
+	// (HarvestTouched) is the original per-interval harvest: snapshots
+	// list only the keys observed in the finished interval.
+	// HarvestFull and HarvestIncremental switch the stage to
+	// retained-population snapshots — every tracked key, untouched ones
+	// carrying their last statistics forward — differing only in build
+	// strategy: full rebuild each close (the oracle) versus persistent
+	// sorted aggregates merged with only the interval's dirty keys,
+	// which also publishes per-task deltas for O(Δkeys) load reports.
+	// The two retained modes are pinned bit-identical (series,
+	// snapshots, routing tables, plans).
+	Harvest HarvestMode
 	// FeedLatency enables the per-interval feed-latency histogram:
 	// every FeedBatch call on stage 0 is wall-clock timed into a
 	// per-feeder metrics.LatencyHist, and the interval record reports
@@ -237,6 +249,10 @@ func (e *Engine) init() *Engine {
 		if cfg.PauseFree && s.AssignmentRouter() != nil {
 			// Error impossible: the router check just passed.
 			_ = s.SetPauseFree(true)
+		}
+		if cfg.Harvest != HarvestTouched {
+			// Error impossible at construction time: trackers are fresh.
+			_ = s.SetHarvest(cfg.Harvest)
 		}
 	}
 	return e

@@ -103,6 +103,12 @@ type Stage struct {
 	// warm.
 	drainBuf []tuple.Tuple
 
+	// harvest selects the interval-close mode (see HarvestMode);
+	// lastDeltas holds the per-task change sets of the most recent
+	// retained close, the control plane's delta-report input.
+	harvest    HarvestMode
+	lastDeltas []stats.Delta
+
 	stopped bool
 }
 
@@ -579,6 +585,9 @@ func (s *Stage) EndInterval(interval int64) *stats.Snapshot {
 	// without a prior CloseInterval/FlushOps still get home-complete
 	// statistics.
 	s.foldSplits()
+	if s.harvest != HarvestTouched {
+		return s.endIntervalRetained(interval)
+	}
 	snap := &stats.Snapshot{Interval: interval, ND: len(s.tasks)}
 	// The assignment is resolved once, outside the thunks: it is an
 	// immutable snapshot, safe for concurrent HashDest reads, and no
@@ -1006,7 +1015,9 @@ func (s *Stage) ScaleOutObserved(obs MigrationObserver) (int64, error) {
 	// Keep the old routing table; recompute destinations under the new
 	// hash and migrate keys whose effective destination moved.
 	newAsg := route.NewAssignment(old.Table().Clone(), newHash)
-	return s.migrateDelta(old, newAsg, s.LiveKeys(), obs, ar), nil
+	moved := s.migrateDelta(old, newAsg, s.LiveKeys(), obs, ar)
+	s.restampRetained()
+	return moved, nil
 }
 
 // ScaleIn retires the stage's last task instance live — the mirror of
@@ -1099,6 +1110,7 @@ func (s *Stage) ScaleInObserved(obs MigrationObserver) (int64, error) {
 	s.Backlog[rid-1] += s.Backlog[rid]
 	s.Backlog = s.Backlog[:rid]
 	s.MigPenalty = s.MigPenalty[:rid]
+	s.restampRetained()
 	return moved, nil
 }
 

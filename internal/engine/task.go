@@ -115,6 +115,11 @@ func newTask(id int, op Operator, window int, stage *Stage) *task {
 			Tracker: stats.NewTracker(window),
 		},
 	}
+	if stage != nil {
+		// A task created by scale-out joins the stage's harvest protocol
+		// from birth; its tracker is fresh, so SetRetain cannot fail.
+		_ = t.ctx.Tracker.SetRetain(stage.harvest.retain())
+	}
 	t.wg.Add(1)
 	go t.loop()
 	return t

@@ -44,7 +44,7 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		}
 		return out
 	}
-	switch kind % 7 {
+	switch kind % 8 {
 	case 0:
 		rep := &LoadReport{
 			TaskID: r.intn(32), Interval: int64(r.intn(1000)),
@@ -55,11 +55,31 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		for i := 0; i < r.intn(n+1); i++ {
 			rep.Split = append(rep.Split, tuple.Key(r.next()))
 		}
-		for i := 0; i < n; i++ {
-			rep.Stats = append(rep.Stats, KeyStatWire{
+		wire := func() KeyStatWire {
+			return KeyStatWire{
 				Key: tuple.Key(r.next()), Cost: int64(r.intn(1e6)),
 				Freq: int64(r.intn(1e6)), Mem: int64(r.intn(1e6)), Hash: r.intn(64),
-			})
+			}
+		}
+		switch r.intn(3) {
+		case 0: // legacy per-interval report
+			for i := 0; i < n; i++ {
+				rep.Stats = append(rep.Stats, wire())
+			}
+		case 1: // epoch-stamped full rebase
+			rep.Epoch = r.next()%1e6 + 1
+			for i := 0; i < n; i++ {
+				rep.Stats = append(rep.Stats, wire())
+			}
+		default: // delta form (n == 0 is the empty-delta corner)
+			rep.Epoch = r.next()%1e6 + 1
+			rep.Delta = true
+			for i := 0; i < n; i++ {
+				rep.Changed = append(rep.Changed, wire())
+			}
+			for i := 0; i < r.intn(n+1); i++ {
+				rep.Retired = append(rep.Retired, tuple.Key(r.next()))
+			}
 		}
 		return &Message{Report: rep}
 	case 1:
@@ -94,12 +114,14 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		return &Message{Ack: &Ack{TaskID: r.intn(64), Interval: int64(r.intn(1000))}}
 	case 5:
 		return &Message{Resume: &Resume{Interval: int64(r.intn(1000))}}
-	default:
+	case 6:
 		ann := &SplitAnnounce{Interval: int64(r.intn(1000))}
 		for i := 0; i < n%64; i++ {
 			ann.Set = append(ann.Set, SplitEntry{Key: tuple.Key(r.next()), Fan: r.intn(16) + 2})
 		}
 		return &Message{Split: ann}
+	default:
+		return &Message{ResyncReq: &Resync{Interval: int64(r.intn(1000))}}
 	}
 }
 
@@ -108,9 +130,9 @@ func buildMessage(seed uint64, kind, n int) *Message {
 // original exactly — the property the wire transport's equivalence
 // with the loopback rests on. Seeds cover every kind at empty,
 // single-entry and many-entry sizes (empty routing tables, multi-entry
-// Moved sets included).
+// Moved sets, delta reports with empty change sets included).
 func FuzzCodecRoundTrip(f *testing.F) {
-	for kind := 0; kind < 7; kind++ {
+	for kind := 0; kind < 8; kind++ {
 		for _, n := range []int{0, 1, 17} {
 			f.Add(uint64(kind*31+n), kind, n)
 		}
@@ -167,6 +189,12 @@ func normalize(m *Message) *Message {
 		}
 		if r.Split == nil {
 			r.Split = []tuple.Key{}
+		}
+		if r.Changed == nil {
+			r.Changed = []KeyStatWire{}
+		}
+		if r.Retired == nil {
+			r.Retired = []tuple.Key{}
 		}
 		c.Report = &r
 	}

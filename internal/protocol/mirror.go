@@ -1,0 +1,179 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// Mirror is the controller-side retained model of every task's tracked
+// population, the receiving half of the incremental-report protocol: a
+// full report rebases one task's run, a delta report folds Changed and
+// Retired into the previous run, and the mirror hands back effective
+// full reports so the rest of the controller (SnapshotFromReports, the
+// policies) is oblivious to which form crossed the wire.
+//
+// Epochs are tracked per task: each report must carry exactly the
+// mirror's epoch + 1 for its task, or be a full rebase. Any gap —
+// lost message, restarted stage, task-count change announced by delta
+// — makes Apply return an error without touching the mirror, and the
+// control loop answers with a Resync so the stage resends the round in
+// full. After the controller issues any command it calls Reset: the
+// command's side effects (migrations, resizes, split churn) land in
+// the next close's delta on the stage side, but the symmetric rule
+// "stage forces full after executing a command, controller forgets
+// after sending one" keeps both ends in step without negotiation.
+type Mirror struct {
+	epochs []uint64
+	runs   [][]KeyStatWire
+	// spare holds each task's run buffer from two rounds ago, recycled
+	// as the next merge's output so steady-state rounds allocate
+	// nothing population-sized. Effective reports returned by Apply are
+	// therefore valid only until the second following Apply — the
+	// control loop consumes them within the round.
+	spare [][]KeyStatWire
+	// drop is the merge's reusable Δkey membership set, probed once per
+	// retained entry of the previous run.
+	drop stats.KeySet
+}
+
+// NewMirror returns an empty mirror; the first round it sees must be
+// full reports.
+func NewMirror() *Mirror { return &Mirror{} }
+
+// Reset forgets the mirrored populations; the next round must be full.
+func (m *Mirror) Reset() {
+	m.epochs = m.epochs[:0]
+	m.runs = m.runs[:0]
+}
+
+// Apply folds one round of reports (one per task, any order) into the
+// mirror and returns the round as effective full reports: full reports
+// pass through, delta reports are replaced by a copy whose Stats is
+// the task's reconstructed population run. Reports with Epoch 0 (the
+// legacy form) bypass the mirror entirely and are returned unchanged.
+// On error the mirror is left exactly as it was — the caller requests
+// a resync and retries Apply with the full round.
+func (m *Mirror) Apply(reports []*LoadReport) ([]*LoadReport, error) {
+	legacy, incremental := 0, 0
+	for _, r := range reports {
+		if r.Epoch == 0 {
+			legacy++
+		} else {
+			incremental++
+		}
+	}
+	if incremental == 0 {
+		return reports, nil
+	}
+	if legacy != 0 {
+		return nil, fmt.Errorf("protocol: round mixes %d legacy and %d epoch-stamped reports", legacy, incremental)
+	}
+	tasks := len(reports)
+	resized := len(m.runs) != tasks
+	// Stage every new run before committing, so a failed delta cannot
+	// leave the mirror half-advanced.
+	newRuns := make([][]KeyStatWire, tasks)
+	newEpochs := make([]uint64, tasks)
+	seen := make([]bool, tasks)
+	for _, r := range reports {
+		if r.TaskID < 0 || r.TaskID >= tasks {
+			return nil, fmt.Errorf("protocol: report task %d outside round of %d", r.TaskID, tasks)
+		}
+		if seen[r.TaskID] {
+			return nil, fmt.Errorf("protocol: duplicate report for task %d", r.TaskID)
+		}
+		seen[r.TaskID] = true
+		if !r.Delta {
+			newRuns[r.TaskID] = r.Stats
+			newEpochs[r.TaskID] = r.Epoch
+			continue
+		}
+		if resized {
+			return nil, fmt.Errorf("protocol: delta report for task %d but task count changed %d → %d", r.TaskID, len(m.runs), tasks)
+		}
+		if want := m.epochs[r.TaskID] + 1; r.Epoch != want {
+			return nil, fmt.Errorf("protocol: task %d delta epoch %d, mirror expects %d", r.TaskID, r.Epoch, want)
+		}
+		var buf []KeyStatWire
+		if r.TaskID < len(m.spare) {
+			buf = m.spare[r.TaskID][:0]
+		}
+		newRuns[r.TaskID] = m.mergeWireRun(buf, m.runs[r.TaskID], r.Changed, r.Retired)
+		newEpochs[r.TaskID] = r.Epoch
+	}
+	// Commit, recycling each replaced run buffer for the merge after
+	// next. An empty delta carries the old run forward unchanged — that
+	// slice stays live as the new run and must not become scratch.
+	oldRuns := m.runs
+	m.runs = newRuns
+	m.epochs = newEpochs
+	if len(m.spare) != tasks {
+		m.spare = make([][]KeyStatWire, tasks)
+	}
+	for t := 0; t < tasks && t < len(oldRuns); t++ {
+		old := oldRuns[t]
+		if len(old) == 0 || (len(newRuns[t]) > 0 && &old[0] == &newRuns[t][0]) {
+			continue
+		}
+		m.spare[t] = old
+	}
+	out := make([]*LoadReport, len(reports))
+	for i, r := range reports {
+		if !r.Delta {
+			out[i] = r
+			continue
+		}
+		eff := *r
+		eff.Delta = false
+		eff.Changed, eff.Retired = nil, nil
+		eff.Stats = newRuns[r.TaskID]
+		out[i] = &eff
+	}
+	return out, nil
+}
+
+// wireLess is KeyStatLess restricted to one task's run: cost
+// descending, key ascending (Dest is constant within a run, so this is
+// a strict total order over a run's unique keys).
+func wireLess(a, b KeyStatWire) bool {
+	if a.Cost != b.Cost {
+		return a.Cost > b.Cost
+	}
+	return a.Key < b.Key
+}
+
+// mergeWireRun rebuilds one task's population run from the previous
+// run plus one delta, with a single linear merge — the mirror-side
+// twin of the tracker's aggregate merge, producing exactly the run a
+// full report would have carried.
+func (m *Mirror) mergeWireRun(buf, old, changed []KeyStatWire, retired []tuple.Key) []KeyStatWire {
+	if len(changed) == 0 && len(retired) == 0 {
+		return old
+	}
+	m.drop.Reset(len(changed) + len(retired))
+	for i := range changed {
+		m.drop.Add(changed[i].Key)
+	}
+	for _, k := range retired {
+		m.drop.Add(k)
+	}
+	out := buf
+	if cap(out) < len(old)+len(changed) {
+		out = make([]KeyStatWire, 0, len(old)+len(changed))
+	}
+	i := 0
+	for _, ks := range old {
+		if m.drop.Has(ks.Key) {
+			continue
+		}
+		for i < len(changed) && wireLess(changed[i], ks) {
+			out = append(out, changed[i])
+			i++
+		}
+		out = append(out, ks)
+	}
+	out = append(out, changed[i:]...)
+	return out
+}

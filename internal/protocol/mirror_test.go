@@ -1,0 +1,156 @@
+package protocol
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// The mirror's linear merge must reconstruct exactly the run a full
+// report would carry: model each task's population as a map, apply the
+// same randomized delta stream to both, and compare the sorted runs.
+func TestMirrorMatchesMapModel(t *testing.T) {
+	const tasks = 3
+	rng := rand.New(rand.NewSource(5))
+	m := NewMirror()
+	models := make([]map[tuple.Key]KeyStatWire, tasks)
+	runs := make([][]KeyStatWire, tasks)
+	for d := range models {
+		models[d] = map[tuple.Key]KeyStatWire{}
+	}
+	sortRun := func(run []KeyStatWire) {
+		sort.Slice(run, func(i, j int) bool { return wireLess(run[i], run[j]) })
+	}
+	for round := 0; round < 30; round++ {
+		full := round == 0 || rng.Intn(8) == 0
+		reports := make([]*LoadReport, tasks)
+		for d := 0; d < tasks; d++ {
+			epoch := uint64(round + 2)
+			// Mutate the model, then derive the delta from the *final*
+			// state — mirroring the tracker's close-time harvest, where
+			// a key changed then dropped within one interval retires,
+			// and one dropped then re-touched changes.
+			touched := map[tuple.Key]struct{}{}
+			for i := 0; i < 1+rng.Intn(10); i++ {
+				k := tuple.Key(rng.Intn(60))
+				touched[k] = struct{}{}
+				if rng.Intn(5) == 0 {
+					delete(models[d], k)
+					continue
+				}
+				models[d][k] = KeyStatWire{Key: k, Cost: int64(1 + rng.Intn(50)), Freq: 1, Mem: int64(rng.Intn(9))}
+			}
+			var changed []KeyStatWire
+			var retired []tuple.Key
+			for k := range touched {
+				if ks, ok := models[d][k]; ok {
+					changed = append(changed, ks)
+				} else {
+					retired = append(retired, k)
+				}
+			}
+			sort.Slice(retired, func(i, j int) bool { return retired[i] < retired[j] })
+			sortRun(changed)
+
+			run := make([]KeyStatWire, 0, len(models[d]))
+			for _, ks := range models[d] {
+				run = append(run, ks)
+			}
+			sortRun(run)
+			runs[d] = run
+
+			if full {
+				reports[d] = &LoadReport{TaskID: d, Epoch: epoch, Stats: run, Tasks: tasks}
+			} else {
+				reports[d] = &LoadReport{TaskID: d, Epoch: epoch, Delta: true, Changed: changed, Retired: retired, Tasks: tasks}
+			}
+		}
+		eff, err := m.Apply(reports)
+		if err != nil {
+			t.Fatalf("round %d (full=%v): %v", round, full, err)
+		}
+		for d := 0; d < tasks; d++ {
+			if len(eff[d].Stats) != len(runs[d]) {
+				t.Fatalf("round %d task %d: effective run %d entries, model %d", round, d, len(eff[d].Stats), len(runs[d]))
+			}
+			for i := range runs[d] {
+				if eff[d].Stats[i] != runs[d][i] {
+					t.Fatalf("round %d task %d entry %d: %+v, model %+v", round, d, i, eff[d].Stats[i], runs[d][i])
+				}
+			}
+			if eff[d].Delta {
+				t.Fatalf("round %d task %d: effective report still marked delta", round, d)
+			}
+		}
+	}
+}
+
+// Apply must reject what it cannot bridge — epoch gaps, task-count
+// changes announced by delta, duplicates, mixed rounds — atomically:
+// a failed round leaves the mirror exactly as it was.
+func TestMirrorApplyErrors(t *testing.T) {
+	m := NewMirror()
+	base := []*LoadReport{
+		{TaskID: 0, Epoch: 2, Stats: []KeyStatWire{{Key: 1, Cost: 9}}},
+		{TaskID: 1, Epoch: 2, Stats: []KeyStatWire{{Key: 2, Cost: 5}}},
+	}
+	if _, err := m.Apply(base); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]*LoadReport{
+		{ // epoch gap
+			{TaskID: 0, Epoch: 4, Delta: true, Tasks: 2},
+			{TaskID: 1, Epoch: 3, Delta: true, Tasks: 2},
+		},
+		{ // task count changed, announced by delta
+			{TaskID: 0, Epoch: 3, Delta: true, Tasks: 3},
+			{TaskID: 1, Epoch: 3, Delta: true, Tasks: 3},
+			{TaskID: 2, Epoch: 3, Delta: true, Tasks: 3},
+		},
+		{ // duplicate task
+			{TaskID: 0, Epoch: 3, Delta: true, Tasks: 2},
+			{TaskID: 0, Epoch: 3, Delta: true, Tasks: 2},
+		},
+		{ // task id out of range
+			{TaskID: 0, Epoch: 3, Delta: true, Tasks: 2},
+			{TaskID: 7, Epoch: 3, Delta: true, Tasks: 2},
+		},
+		{ // mixed legacy and epoch-stamped
+			{TaskID: 0, Epoch: 3, Delta: true, Tasks: 2},
+			{TaskID: 1, Epoch: 0, Tasks: 2},
+		},
+	}
+	for i, reports := range bad {
+		if _, err := m.Apply(reports); err == nil {
+			t.Fatalf("bad round %d applied without error", i)
+		}
+	}
+	// The failures above must not have advanced the mirror: the
+	// legitimate next delta still applies.
+	good := []*LoadReport{
+		{TaskID: 0, Epoch: 3, Delta: true, Retired: []tuple.Key{1}, Tasks: 2},
+		{TaskID: 1, Epoch: 3, Delta: true, Changed: []KeyStatWire{{Key: 3, Cost: 7}}, Tasks: 2},
+	}
+	eff, err := m.Apply(good)
+	if err != nil {
+		t.Fatalf("mirror corrupted by failed rounds: %v", err)
+	}
+	if len(eff[0].Stats) != 0 || len(eff[1].Stats) != 2 {
+		t.Fatalf("effective runs %v / %v, want 0 and 2 entries", eff[0].Stats, eff[1].Stats)
+	}
+}
+
+// Legacy rounds (epoch 0) bypass the mirror untouched.
+func TestMirrorLegacyBypass(t *testing.T) {
+	m := NewMirror()
+	reports := []*LoadReport{{TaskID: 0, Stats: []KeyStatWire{{Key: 1, Cost: 1}}, Tasks: 1}}
+	eff, err := m.Apply(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[0] != reports[0] {
+		t.Fatal("legacy report was not passed through unchanged")
+	}
+}

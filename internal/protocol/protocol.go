@@ -13,12 +13,25 @@
 //	source     → destination : StateTransfer     (step 5)
 //	task       → controller  : Ack               (step 6)
 //	controller → upstream    : Resume            (step 7)
+//
+// LoadReport has two forms. The legacy full form (Epoch 0) re-carries
+// every tracked key's stats each interval. The incremental form stamps
+// each report with the tracker's close epoch and, on held rounds,
+// sends only the delta — Changed (touched keys, cost-sorted) and
+// Retired (dropped keys, ascending) — which the controller-side Mirror
+// folds into its retained per-task runs, handing the rest of the loop
+// effective full reports. Epoch gaps make the mirror reject the round;
+// the controller answers with Resync and the stage resends the same
+// interval in full. O(Δkeys) crosses the wire per steady interval
+// instead of O(keys), bit-identically to the full form.
 package protocol
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/balance"
@@ -53,6 +66,26 @@ type LoadReport struct {
 	TaskID   int
 	Interval int64
 	Stats    []KeyStatWire
+
+	// Epoch, when nonzero, marks the report as part of an incremental
+	// stream: it identifies the task tracker's close this report
+	// describes, and the controller folds the report into its Mirror.
+	// A full report (Delta false) carries the task's whole tracked
+	// population in Stats and rebases the mirror at Epoch; a delta
+	// report (Delta true) carries only Changed + Retired against the
+	// mirror's run for Epoch−1 — O(Δkeys) on the wire instead of
+	// O(population). Epoch 0 is the legacy per-interval form, which
+	// bypasses the mirror entirely.
+	Epoch uint64
+	Delta bool
+	// Changed lists the keys touched in the finished interval with
+	// their fresh statistics, in canonical snapshot-run order (cost
+	// descending, key ascending). Only meaningful when Delta is true.
+	Changed []KeyStatWire
+	// Retired lists keys that left the task since the previous close
+	// (migrated away), ascending, deduplicated, never overlapping
+	// Changed. Only meaningful when Delta is true.
+	Retired []tuple.Key
 
 	// Stage context, identical on every report of a round.
 	Tasks     int
@@ -139,6 +172,15 @@ type Resume struct {
 	Interval int64
 }
 
+// Resync asks the stage side to resend the current round as full
+// reports: the controller's delta mirror hit an epoch it cannot apply
+// (a message was lost, or stage and controller restarted out of step).
+// The stage answers with one full (Delta false) report per task for
+// the same interval and the round proceeds normally.
+type Resync struct {
+	Interval int64
+}
+
 // Message is the envelope union; exactly one field is non-nil.
 type Message struct {
 	Report    *LoadReport
@@ -148,6 +190,7 @@ type Message struct {
 	State     *StateTransfer
 	Ack       *Ack
 	Resume    *Resume
+	ResyncReq *Resync
 }
 
 // Kind names the populated variant, for logging and dispatch.
@@ -167,20 +210,39 @@ func (m *Message) Kind() string {
 		return "ack"
 	case m.Resume != nil:
 		return "resume"
+	case m.ResyncReq != nil:
+		return "resync"
 	default:
 		return "empty"
 	}
 }
 
-// Codec frames Messages over a byte stream with encoding/gob.
+// Codec frames Messages over a byte stream with encoding/gob. Each
+// message is staged in one retained encode buffer and written with a
+// single Write — gob would otherwise issue several small writes per
+// message (type descriptors, then the value), each a syscall on a real
+// socket — and the buffer is reused across messages, so steady-state
+// sends allocate nothing. The staging also makes exact per-direction
+// byte counters (SentBytes/RecvBytes) free; bench-control and the
+// harvest sweep read them to report control-plane bandwidth.
+//
+// Send and Recv are each single-caller (the control loop's contract);
+// the counters may be read from any goroutine.
 type Codec struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	w    io.Writer
+	buf  bytes.Buffer
+	sent atomic.Int64
+	rcvd atomic.Int64
 }
 
 // NewCodec wraps a bidirectional stream.
 func NewCodec(rw io.ReadWriter) *Codec {
-	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+	c := &Codec{w: rw}
+	c.enc = gob.NewEncoder(&c.buf)
+	c.dec = gob.NewDecoder(&countingReader{r: rw, n: &c.rcvd})
+	return c
 }
 
 // Send encodes one message.
@@ -188,7 +250,13 @@ func (c *Codec) Send(m *Message) error {
 	if m.Kind() == "empty" {
 		return fmt.Errorf("protocol: refusing to send empty message")
 	}
-	return c.enc.Encode(m)
+	c.buf.Reset()
+	if err := c.enc.Encode(m); err != nil {
+		return err
+	}
+	n, err := c.w.Write(c.buf.Bytes())
+	c.sent.Add(int64(n))
+	return err
 }
 
 // Recv decodes the next message.
@@ -198,6 +266,23 @@ func (c *Codec) Recv() (*Message, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// SentBytes returns the total bytes written to the stream so far.
+func (c *Codec) SentBytes() int64 { return c.sent.Load() }
+
+// RecvBytes returns the total bytes read from the stream so far.
+func (c *Codec) RecvBytes() int64 { return c.rcvd.Load() }
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
 }
 
 // ReportFromStats converts a tracker harvest into a LoadReport.
@@ -274,23 +359,58 @@ func SnapshotFromReports(reports []*LoadReport) *stats.Snapshot {
 		return snap
 	}
 	snap.Interval = reports[0].Interval
+	// Merge the wire runs straight into the snapshot ordering. Each
+	// run is wireLess-sorted (cost desc, key asc; Dest constant within
+	// a run), so a k-way select-min with the Dest tie-break yields
+	// exactly SortByCostDesc over the stamped concatenation — without
+	// first materializing per-task KeyStat runs and merging those, which
+	// would touch the whole population twice per round.
+	type cursor struct {
+		head KeyStatWire
+		run  []KeyStatWire
+		dest int
+		i    int
+	}
 	total := 0
+	cs := make([]cursor, 0, len(reports))
 	for _, r := range reports {
 		total += len(r.Stats)
-	}
-	backing := make([]stats.KeyStat, 0, total)
-	runs := make([][]stats.KeyStat, len(reports))
-	for _, r := range reports {
-		if r.TaskID < 0 || r.TaskID >= len(runs) {
+		if r.TaskID < 0 || r.TaskID >= len(reports) || len(r.Stats) == 0 {
 			continue
 		}
-		lo := len(backing)
-		for _, s := range r.Stats {
-			backing = append(backing, stats.KeyStat{Key: s.Key, Cost: s.Cost, Freq: s.Freq, Mem: s.Mem, Dest: r.TaskID, Hash: s.Hash})
-		}
-		runs[r.TaskID] = backing[lo:len(backing):len(backing)]
+		cs = append(cs, cursor{head: r.Stats[0], run: r.Stats, dest: r.TaskID})
 	}
-	snap.Keys = stats.MergeRuns(runs)
+	out := make([]stats.KeyStat, 0, total)
+	for len(cs) > 0 {
+		m := 0
+		for j := 1; j < len(cs); j++ {
+			a, b := &cs[j], &cs[m]
+			if a.head.Cost != b.head.Cost {
+				if a.head.Cost > b.head.Cost {
+					m = j
+				}
+			} else if a.head.Key != b.head.Key {
+				if a.head.Key < b.head.Key {
+					m = j
+				}
+			} else if a.dest < b.dest {
+				m = j
+			}
+		}
+		c := &cs[m]
+		s := &c.head
+		out = append(out, stats.KeyStat{Key: s.Key, Cost: s.Cost, Freq: s.Freq, Mem: s.Mem, Dest: c.dest, Hash: s.Hash})
+		c.i++
+		if c.i == len(c.run) {
+			cs[m] = cs[len(cs)-1]
+			cs = cs[:len(cs)-1]
+			continue
+		}
+		c.head = c.run[c.i]
+	}
+	if len(out) > 0 {
+		snap.Keys = out
+	}
 	return snap
 }
 

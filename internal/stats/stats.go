@@ -4,6 +4,15 @@
 // (§II-A). It also computes the per-instance load L_i(d, F), the
 // balance indicator θ_i(d, F) and the workload-skewness metric
 // max L(d) / L̄ reported throughout §V.
+//
+// The Tracker's interval close is O(Δkeys), not O(tracked keys): first
+// touches chain keys onto a dirty list (an epoch stamp per cell makes
+// the per-interval reset free), EndInterval harvests only that list,
+// and in retained mode EndIntervalRetained merges the harvest into a
+// persistent sorted aggregate whose previous run stays valid as a
+// copy-on-write view until the close after next — together with the
+// interval's retirements this is the Delta the incremental load-report
+// protocol ships instead of the full population.
 package stats
 
 import (
@@ -105,6 +114,67 @@ func SortByCostDesc(keys []KeyStat) {
 	sort.Slice(keys, func(i, j int) bool { return KeyStatLess(keys[i], keys[j]) })
 }
 
+// KeySet is a small reusable open-addressing membership set over
+// tuple keys. The incremental close paths probe it once per retained
+// aggregate entry while it holds only the interval's Δkeys, so the
+// table stays a compact power-of-two array (≤ 50% load) that is
+// cache-resident during the O(population) skip scan — several times
+// cheaper per probe than a scratch Go map rebuilt every close.
+type KeySet struct {
+	// One array of (key, used) pairs, not parallel arrays: a probe
+	// touches a single cache line.
+	slots []keySlot
+}
+
+type keySlot struct {
+	k    tuple.Key
+	used bool
+}
+
+// Reset empties the set and sizes it for n keys, reusing the backing
+// array whenever it is already large enough.
+func (s *KeySet) Reset(n int) {
+	want := 8
+	for want < 2*n {
+		want <<= 1
+	}
+	if want <= cap(s.slots) {
+		s.slots = s.slots[:want]
+		for i := range s.slots {
+			s.slots[i] = keySlot{}
+		}
+		return
+	}
+	s.slots = make([]keySlot, want)
+}
+
+// Add inserts k (idempotently).
+func (s *KeySet) Add(k tuple.Key) {
+	mask := uint64(len(s.slots) - 1)
+	i := cellHash(k) & mask
+	for s.slots[i].used {
+		if s.slots[i].k == k {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	s.slots[i] = keySlot{k: k, used: true}
+}
+
+// Has reports whether k was added since the last Reset.
+func (s *KeySet) Has(k tuple.Key) bool {
+	if len(s.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := cellHash(k) & mask; s.slots[i].used; i = (i + 1) & mask {
+		if s.slots[i].k == k {
+			return true
+		}
+	}
+	return false
+}
+
 // MergeRuns k-way-merges per-task sorted runs (each ordered by
 // KeyStatLess) into one slice with the same ordering — the harvest
 // merge Stage.EndInterval uses instead of re-sorting the concatenated
@@ -128,6 +198,40 @@ func MergeRuns(runs [][]KeyStat) []KeyStat {
 		return append([]KeyStat(nil), runs[live[0]]...)
 	}
 	out := make([]KeyStat, 0, total)
+	// At typical stage fan-ins a select-min over cached heads beats the
+	// index heap: the comparisons run on contiguous cursor structs
+	// instead of chasing runs[live[i]][pos[...]] twice per compare, and
+	// the merge is one KeyStat copy per element. The heap takes over
+	// when k is large enough for O(k) selection to lose.
+	if len(live) <= 8 {
+		type cursor struct {
+			head KeyStat
+			run  []KeyStat
+			i    int
+		}
+		cs := make([]cursor, len(live))
+		for j, idx := range live {
+			cs[j] = cursor{head: runs[idx][0], run: runs[idx]}
+		}
+		for len(cs) > 1 {
+			m := 0
+			for j := 1; j < len(cs); j++ {
+				if KeyStatLess(cs[j].head, cs[m].head) {
+					m = j
+				}
+			}
+			c := &cs[m]
+			out = append(out, c.head)
+			c.i++
+			if c.i == len(c.run) {
+				cs[m] = cs[len(cs)-1]
+				cs = cs[:len(cs)-1]
+				continue
+			}
+			c.head = c.run[c.i]
+		}
+		return append(out, cs[0].run[cs[0].i:]...)
+	}
 	pos := make([]int, len(runs))
 	// Index heap over live runs, ordered by each run's current head.
 	less := func(a, b int) bool { return KeyStatLess(runs[a][pos[a]], runs[b][pos[b]]) }

@@ -242,6 +242,23 @@ func PausingMigration() Option {
 	return func(b *Builder) { b.ecfg.PauseFree = false }
 }
 
+// IncrementalHarvest switches every stage's interval close to the
+// incremental path: trackers harvest only keys touched since the last
+// close, merge them into a persistent sorted aggregate, and controller
+// loops ride O(Δkeys) delta load reports instead of re-sending the
+// full key population each interval. Snapshots, plans and series are
+// pinned bit-identical to the default full harvest.
+func IncrementalHarvest() Option {
+	return func(b *Builder) { b.ecfg.Harvest = engine.HarvestIncremental }
+}
+
+// FullHarvest keeps the retained aggregate but rebuilds and re-sorts
+// it from a full tracker scan every close — the O(keys) equivalence
+// oracle the incremental merge is pinned against.
+func FullHarvest() Option {
+	return func(b *Builder) { b.ecfg.Harvest = engine.HarvestFull }
+}
+
 // AdvanceEach installs a per-interval workload callback
 // (engine.AdvanceWorkload): fn runs after every interval so generators
 // can fluctuate or shift their distributions.
