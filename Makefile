@@ -6,7 +6,7 @@ FEEDERS ?= 1
 # Zipf skews for the hot-key splitting sweep (split on vs off each).
 THETAS ?= 0.99,1.2,1.5
 
-.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-control bench-harvest bench-hotkey exhibits smoke-examples
+.PHONY: verify build test vet bench bench-dataplane bench-multistage bench-cluster bench-control bench-harvest bench-hotkey exhibits smoke-examples smoke-cluster
 
 ## verify: the tier-1 gate — vet, build, test everything.
 verify:
@@ -38,6 +38,15 @@ bench-dataplane:
 ## benchmark (store-and-forward vs streaming pipeline transfer).
 bench-multistage:
 	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage
+
+## bench-cluster: the dataplane report plus the distributed-runtime
+## benchmark — the multistage 2-stage shape hosted on two cluster
+## workers, every hop over a real socket, one point per transport
+## (cluster_interval_tcp / cluster_interval_unix in the report). Read
+## against multistage_interval: the delta is gob serialization plus
+## the kernel's socket path.
+bench-cluster:
+	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage -cluster
 
 ## bench-control: per-interval control-loop overhead micro-bench
 ## (loopback vs Codec-over-pipe wire transport, several snapshot
@@ -79,3 +88,12 @@ smoke-examples:
 		echo "== $$d =="; \
 		REPRO_INTERVALS=2 $(GO) run ./$$d || exit 1; \
 	done
+
+## smoke-cluster: the distributed runtime as real OS processes — build
+## cmd/worker and cmd/coordinator, then run a 2-worker socialpipe
+## cluster over a unix socket for two intervals (the coordinator execs
+## the workers and prints the per-connection byte table at shutdown).
+smoke-cluster:
+	$(GO) build -o bin/worker ./cmd/worker
+	$(GO) build -o bin/coordinator ./cmd/coordinator
+	REPRO_INTERVALS=2 bin/coordinator -workers 2 -network unix -topology socialpipe -worker-bin bin/worker

@@ -51,6 +51,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -70,7 +71,8 @@ func main() {
 		dataplane  = flag.String("dataplane", "", "measure data-plane tuples/sec and write the JSON report to this path (skips exhibits)")
 		feeders    = flag.Int("feeders", 1, "spout parallelism for the -dataplane engine measurements (the scaling-curve knob)")
 		multistage = flag.Bool("multistage", false, "with -dataplane: also benchmark a 2-stage topology end to end, store-and-forward vs pipelined transfer")
-		msBudget   = flag.Int64("msbudget", 20000, "per-interval spout budget for the -multistage benchmark (CI smoke uses a tiny value)")
+		msBudget   = flag.Int64("msbudget", 20000, "per-interval spout budget for the -multistage and -cluster benchmarks (CI smoke uses a tiny value)")
+		clusterB   = flag.Bool("cluster", false, "with -dataplane: also benchmark the distributed runtime — the multistage 2-stage shape hosted on two worker processes' stages over real sockets, one point per transport (tcp, unix)")
 		thetas     = flag.String("theta", "", "with -dataplane: comma-separated Zipf skews for the hot-key sweep; each θ is measured split-off and split-on (e.g. 0.99,1.2,1.5)")
 		keysF      = flag.String("keys", "", "with -dataplane: comma-separated tracked-key populations for the harvest sweep; each is measured through interval close + one control round over the wire, full vs incremental harvest, with a 1k working set (e.g. 4096,16384,65536)")
 		pipeline   = flag.Bool("pipeline", false, "run the exhibits with streaming inter-stage transfer (outputs match the default store-and-forward run on key-partitioned stages; fig01's shuffle stages may interleave on multicore)")
@@ -108,7 +110,7 @@ func main() {
 	}
 	experiments.SetPipeline(*pipeline)
 	if *dataplane != "" {
-		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *msBudget, sweep, keySweep); err != nil {
+		if err := writeDataplaneReport(*dataplane, *feeders, *multistage, *clusterB, *msBudget, sweep, keySweep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -326,10 +328,14 @@ func readDataplaneReport(path string) (*dataplaneReport, error) {
 // the serial and fanned-out emission paths; with multistage set, a
 // 2-stage topology is additionally driven end to end under both
 // transfer modes (multistage_interval_sf = store-and-forward,
-// multistage_interval = streaming pipeline). When the target file
+// multistage_interval = streaming pipeline); with clusterB set, the
+// same 2-stage shape is driven through the distributed runtime — the
+// stages hosted by two in-process workers, every hop a real socket —
+// once per transport (cluster_interval_tcp, cluster_interval_unix).
+// When the target file
 // already holds a report, the old numbers are printed next to the new
 // ones so perf PRs can quote the trajectory directly.
-func writeDataplaneReport(path string, feeders int, multistage bool, msBudget int64, sweep []float64, keySweep []int) error {
+func writeDataplaneReport(path string, feeders int, multistage, clusterB bool, msBudget int64, sweep []float64, keySweep []int) error {
 	// The Feed/FeedBatch micro-measurements drive one stage directly
 	// (no spout, no intervals); the builder still declares it, and
 	// stopping the stage stops every goroutine the topology owns.
@@ -352,7 +358,7 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		return err
 	}
 	report := dataplaneReport{
-		Schema:        "dataplane-v5",
+		Schema:        "dataplane-v6",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		Feeders:       feeders,
@@ -598,6 +604,23 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		report.TuplesPerSec["multistage_interval"] = msRate(true)
 	}
 
+	// The distributed runtime on the same 2-stage shape: both stages
+	// hosted by cluster workers (in-process here, but every hop — spout
+	// feed, inter-stage transfer, control drive — crosses a real
+	// socket), one measurement per transport. Spout tuples/sec again,
+	// so the points read directly against multistage_interval: the
+	// delta is serialization plus the kernel's socket path.
+	if clusterB {
+		registerBenchOps()
+		for _, network := range []string{"tcp", "unix"} {
+			rate, err := clusterRate(network, msBudget)
+			if err != nil {
+				return fmt.Errorf("cluster bench (%s): %w", network, err)
+			}
+			report.TuplesPerSec["cluster_interval_"+network] = rate
+		}
+	}
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -687,4 +710,113 @@ func writeDataplaneReport(path string, feeders int, multistage bool, msBudget in
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// benchOpsOnce guards the cluster-bench operator registrations: the
+// registry panics on duplicates, and clusterRate runs once per
+// transport.
+var benchOpsOnce sync.Once
+
+// registerBenchOps registers the -cluster benchmark's operators — the
+// same forwarding map and sink the -multistage benchmark builds
+// directly, named so worker-hosted stages can resolve them.
+func registerBenchOps() {
+	benchOpsOnce.Do(func() {
+		cluster.RegisterOp("bench/fwd", func(int) engine.Operator {
+			return engine.OperatorFunc(func(ctx *engine.TaskCtx, t tuple.Tuple) {
+				ctx.Emit(tuple.New(t.Key, nil))
+			})
+		})
+		cluster.RegisterOp("bench/sink", func(int) engine.Operator { return engine.Discard })
+	})
+}
+
+// clusterRate measures end-to-end spout tuples/sec of the 2-stage
+// forwarding topology hosted on two cluster workers over one
+// transport. The workers run in-process (goroutines, not exec) so the
+// measurement isolates the wire cost — gob serialization plus the
+// socket round trips of the interval drive — without process spawn
+// noise; the bytes still cross real kernel sockets.
+func clusterRate(network string, msBudget int64) (float64, error) {
+	const nWorkers = 2
+	var emittedTotal int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		if benchErr != nil {
+			return
+		}
+		gen := workload.NewZipfStream(10000, 0.85, 0, msBudget, 17)
+		spec := &cluster.Spec{
+			Name:   "bench-cluster",
+			Budget: msBudget,
+			SpoutB: gen.NextBatch,
+			Stages: []cluster.StageSpec{
+				{Name: "ms-map", Op: "bench/fwd", Instances: 8},
+				{Name: "ms-sink", Op: "bench/sink", Instances: 8},
+			},
+		}
+		addr := "127.0.0.1:0"
+		var dir string
+		if network == "unix" {
+			var err error
+			if dir, err = os.MkdirTemp("", "repro-bench-cluster"); err != nil {
+				benchErr = err
+				return
+			}
+			defer os.RemoveAll(dir)
+			addr = filepath.Join(dir, "coord.sock")
+		}
+		c, err := cluster.NewCoordinator(spec, network, addr)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		errs := make(chan error, nWorkers)
+		for i := 0; i < nWorkers; i++ {
+			dataAddr := "127.0.0.1:0"
+			if network == "unix" {
+				dataAddr = filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+			}
+			w, err := cluster.NewWorker(network, c.Addr(), dataAddr, fmt.Sprintf("w%d", i))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			go func() { errs <- w.Run() }()
+		}
+		if err := c.Deploy(nWorkers); err != nil {
+			benchErr = err
+			return
+		}
+		// Two untimed warm-up intervals: the first interval pays one-off
+		// costs (gob type dictionaries crossing every connection, TCP
+		// window growth) that would dominate a b.N=1 probe.
+		if err := c.Run(2); err != nil {
+			benchErr = err
+			return
+		}
+		b.ResetTimer()
+		err = c.Run(b.N)
+		b.StopTimer()
+		if err != nil {
+			benchErr = err
+			return
+		}
+		emittedTotal = 0
+		for _, m := range c.Recorder().Series {
+			emittedTotal += m.Emitted
+		}
+		if _, err := c.Shutdown(); err != nil {
+			benchErr = err
+		}
+		for i := 0; i < nWorkers; i++ {
+			if err := <-errs; err != nil && benchErr == nil {
+				benchErr = err
+			}
+		}
+	})
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	return float64(emittedTotal) / r.T.Seconds(), nil
 }

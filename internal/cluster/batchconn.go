@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/protocol"
+	"repro/internal/tuple"
+)
+
+// BatchConn is the data plane: an engine.BatchSink streaming tuple
+// batches over a cluster connection into a remote stage. One TupleBatch
+// message carries exactly one FeedBatch call — the receiver feeds each
+// message as a single batch, so chunk boundaries (and with them
+// round-robin shuffle routing and arrival accounting) are preserved
+// bit-for-bit across the process boundary.
+//
+// FeedBatch tolerates concurrent callers (upstream task goroutines and
+// spout feeders flush into the same edge), serialized by an internal
+// mutex. Errors latch: the first send failure poisons the connection
+// and every later call becomes a no-op, surfaced at the next Flush —
+// the data plane has no mid-interval recovery story, only clean
+// teardown at the barrier.
+type BatchConn struct {
+	c   *Conn
+	mu  sync.Mutex
+	seq uint64
+	err error
+}
+
+// NewBatchConn wraps an established data connection.
+func NewBatchConn(c *Conn) *BatchConn { return &BatchConn{c: c} }
+
+// FeedBatch sends one batch downstream. The tuples are fully encoded
+// before return, so the caller's slice is immediately reusable —
+// the same contract engine.Stage.FeedBatch gives its callers.
+func (b *BatchConn) FeedBatch(ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return
+	}
+	b.err = b.c.Send(&protocol.Message{Batch: &protocol.TupleBatch{Tuples: ts}})
+}
+
+// Flush is the delivery barrier: it sends a sequenced Flush message
+// and blocks until the receiver echoes it. The receiver enqueues
+// batches in receipt order before answering, and the transport is
+// FIFO, so a returned Flush proves every prior FeedBatch on this
+// connection has been fed into the remote stage's task queues — the
+// moment the in-process cascading close reaches between stages.
+func (b *BatchConn) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	b.seq++
+	if err := b.c.Send(&protocol.Message{FlushReq: &protocol.Flush{Seq: b.seq}}); err != nil {
+		b.err = err
+		return err
+	}
+	m, err := b.c.Recv()
+	if err != nil {
+		b.err = err
+		return err
+	}
+	if m.FlushReq == nil || m.FlushReq.Seq != b.seq {
+		b.err = fmt.Errorf("cluster: flush barrier: expected echo of seq %d, got %s", b.seq, m.Kind())
+		return b.err
+	}
+	return nil
+}
+
+// Err returns the latched transport error, if any.
+func (b *BatchConn) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// Stat returns the underlying connection's byte counters.
+func (b *BatchConn) Stat() protocol.ConnStat { return b.c.Stat() }
+
+// Close closes the underlying connection.
+func (b *BatchConn) Close() error { return b.c.Close() }

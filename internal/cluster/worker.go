@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/control"
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/topology"
+)
+
+// hostedStage is one pipeline stage living on this worker: the stage
+// itself wrapped in a single-stage engine (the executor's actuation
+// surface), plus the stage's wiring — the downstream data connection
+// (nil for the last stage) and the control connection with its
+// executor (nil for stages without coordinator-side policies).
+type hostedStage struct {
+	si   int
+	st   *engine.Stage
+	eng  *engine.Engine
+	x    *control.Executor
+	ctrl *Conn
+	down *BatchConn
+	// resizes records the current round's applied instance-count deltas
+	// in actuation order (via Executor.OnResize), shipped in HarvestDone
+	// so the coordinator replays the same backlog array surgery.
+	resizes []int
+	// processed accumulates the stage's arrived-tuple total across
+	// intervals — the zero-loss account HarvestDone reports.
+	processed int64
+}
+
+// Worker hosts stages for one coordinator session. Run (or RunWorker)
+// drives it to completion: register, build assigned stages, answer the
+// interval drive, tear down on Shutdown.
+type Worker struct {
+	name    string
+	network string
+	coord   string
+
+	session *Conn
+	dataLn  *Listener
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	stages    map[int]*hostedStage
+	dataConns []*Conn
+	closed    bool
+
+	wg sync.WaitGroup // data-plane goroutines
+}
+
+// NewWorker dials the coordinator at coord (network "tcp" or "unix"),
+// opens this worker's data-plane listener on dataAddr (e.g.
+// "127.0.0.1:0" for tcp, a socket path for unix) and registers. The
+// returned worker is idle until Run.
+func NewWorker(network, coord, dataAddr, name string) (*Worker, error) {
+	w := &Worker{name: name, network: network, coord: coord, stages: map[int]*hostedStage{}}
+	w.cond = sync.NewCond(&w.mu)
+	ln, err := Listen(network, dataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: data listener: %w", name, err)
+	}
+	w.dataLn = ln
+	sess, _, err := Dial(network, coord, &protocol.Hello{Role: "worker", Worker: name, DataAddr: ln.Addr()})
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("cluster: worker %s: register: %w", name, err)
+	}
+	sess.SetName("session")
+	w.session = sess
+	go w.acceptData()
+	return w, nil
+}
+
+// RunWorker is the whole worker lifecycle in one call — what
+// cmd/worker's main comes down to. It returns nil on a clean
+// coordinator-driven shutdown.
+func RunWorker(network, coord, dataAddr, name string) error {
+	w, err := NewWorker(network, coord, dataAddr, name)
+	if err != nil {
+		return err
+	}
+	return w.Run()
+}
+
+// Run serves the coordinator session until Shutdown (nil) or a
+// transport/protocol error. Teardown runs in every case.
+func (w *Worker) Run() error {
+	defer w.teardown()
+	for {
+		m, err := w.session.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Coordinator closed the session without Shutdown — an
+				// abort, but a clean frame-level one.
+				return nil
+			}
+			return fmt.Errorf("cluster: worker %s: session: %w", w.name, err)
+		}
+		switch {
+		case m.Assign != nil:
+			if err := w.assign(m.Assign); err != nil {
+				return err
+			}
+			if err := w.ack(m.Assign.Stage, 0); err != nil {
+				return err
+			}
+		case m.Start != nil:
+			w.mu.Lock()
+			for _, h := range w.stages {
+				h.st.StartInterval(m.Start.Interval)
+				h.eng.SetLastEmitted(m.Start.Emit)
+			}
+			w.mu.Unlock()
+			if err := w.ack(-1, m.Start.Interval); err != nil {
+				return err
+			}
+		case m.Close != nil:
+			h := w.stage(m.Close.Stage)
+			if h == nil {
+				return fmt.Errorf("cluster: worker %s: close for unassigned stage %d", w.name, m.Close.Stage)
+			}
+			h.st.CloseInterval()
+			if h.down != nil {
+				if err := h.down.Flush(); err != nil {
+					return fmt.Errorf("cluster: worker %s: stage %d downstream flush: %w", w.name, h.si, err)
+				}
+			}
+			if err := w.ack(h.si, 0); err != nil {
+				return err
+			}
+		case m.Harvest != nil:
+			done, err := w.harvest(m.Harvest)
+			if err != nil {
+				return err
+			}
+			if err := w.session.Send(&protocol.Message{Harvested: done}); err != nil {
+				return err
+			}
+		case m.Bye != nil:
+			stats := w.stats()
+			if err := w.session.Send(&protocol.Message{ConnStats: stats}); err != nil {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("cluster: worker %s: unexpected session message %s", w.name, m.Kind())
+		}
+	}
+}
+
+func (w *Worker) ack(task int, interval int64) error {
+	return w.session.Send(&protocol.Message{Ack: &protocol.Ack{TaskID: task, Interval: interval}})
+}
+
+func (w *Worker) stage(si int) *hostedStage {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stages[si]
+}
+
+// assign builds one stage exactly as the topology builder would — same
+// router resolution, same engine config — then wires its data and
+// control planes. The stage lives inside its own single-stage engine:
+// that is the executor's actuation surface (capacity, resize,
+// last-emitted) detached from any driver loop, which the coordinator
+// replaces.
+func (w *Worker) assign(a *protocol.StageAssign) error {
+	r := topology.RouterFor(topology.Algorithm(a.Algorithm), a.Instances)
+	st := engine.NewStage(a.Name, a.Instances, MustOp(a.Op), a.Window, r)
+	cfg := engine.DefaultConfig()
+	cfg.Budget = a.Budget
+	cfg.Capacity = a.Capacity
+	cfg.PauseFree = a.PauseFree
+	cfg.Harvest = engine.HarvestMode(a.Harvest)
+	eng := engine.NewBatch(nil, cfg, st)
+	if a.StateWire {
+		st.SetStateWire(true)
+	}
+	h := &hostedStage{si: a.Stage, st: st, eng: eng}
+	if a.Downstream != "" {
+		dc, _, err := Dial(w.network, a.Downstream, &protocol.Hello{
+			Role: "data", Worker: w.name, Stage: a.DownStage,
+		})
+		if err != nil {
+			st.Stop()
+			return fmt.Errorf("cluster: worker %s: stage %d: dial downstream s%d: %w", w.name, a.Stage, a.DownStage, err)
+		}
+		dc.SetName(fmt.Sprintf("data s%d→s%d", a.Stage, a.DownStage))
+		h.down = NewBatchConn(dc)
+		st.SetSink(h.down)
+	}
+	if a.Control {
+		cc, _, err := Dial(w.network, w.coord, &protocol.Hello{
+			Role: "control", Worker: w.name, Stage: a.Stage,
+		})
+		if err != nil {
+			st.Stop()
+			return fmt.Errorf("cluster: worker %s: stage %d: dial control: %w", w.name, a.Stage, err)
+		}
+		cc.SetName(fmt.Sprintf("control s%d", a.Stage))
+		h.ctrl = cc
+		h.x = control.NewExecutor(eng, 0, cc)
+		h.x.OnResize = func(delta int) { h.resizes = append(h.resizes, delta) }
+	}
+	w.mu.Lock()
+	w.stages[a.Stage] = h
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return nil
+}
+
+// harvest ends one stage's interval in exactly the single-process
+// order: record the true emission, capture arrival accounting, harvest
+// statistics (EndInterval), measure pre-rebalance live state, run the
+// control round, then copy-and-zero the migration penalties StepModel
+// would have consumed. The coordinator feeds the shipped arrays to the
+// identical model code.
+func (w *Worker) harvest(req *protocol.HarvestReq) (*protocol.HarvestDone, error) {
+	h := w.stage(req.Stage)
+	if h == nil {
+		return nil, fmt.Errorf("cluster: worker %s: harvest for unassigned stage %d", w.name, req.Stage)
+	}
+	h.eng.SetLastEmitted(req.Emit)
+	cost := append([]int64(nil), h.st.ArrivedCost()...)
+	tuples := append([]int64(nil), h.st.ArrivedTuples()...)
+	snap := h.st.EndInterval(req.Interval)
+	var liveState int64
+	for d := 0; d < h.st.Instances(); d++ {
+		liveState += h.st.StoreOf(d).TotalSize()
+	}
+	h.resizes = h.resizes[:0]
+	var reb *engine.Rebalance
+	if h.x != nil {
+		reb = h.x.RunRound(snap)
+	}
+	mig := append([]int64(nil), h.st.MigPenalty...)
+	for i := range h.st.MigPenalty {
+		h.st.MigPenalty[i] = 0
+	}
+	for _, t := range tuples {
+		h.processed += t
+	}
+	done := &protocol.HarvestDone{
+		Stage:         h.si,
+		Interval:      req.Interval,
+		ArrivedCost:   cost,
+		ArrivedTuples: tuples,
+		MigPenalty:    mig,
+		Resizes:       append([]int(nil), h.resizes...),
+		Instances:     h.st.Instances(),
+		LiveState:     liveState,
+		Processed:     h.processed,
+	}
+	if reb != nil {
+		done.ScaledOut, done.ScaledIn = reb.ScaledOut, reb.ScaledIn
+		if reb.Plan != nil {
+			done.Rebalanced = true
+			done.PlanMs = float64(reb.Plan.GenTime.Microseconds()) / 1000
+			done.TableSize = reb.Plan.TableSize()
+			done.Moved = reb.Moved
+		}
+	}
+	return done, nil
+}
+
+// Stage returns the hosted stage's engine.Stage, or nil — test access
+// to routing tables and state stores after a run.
+func (w *Worker) Stage(si int) *engine.Stage {
+	if h := w.stage(si); h != nil {
+		return h.st
+	}
+	return nil
+}
+
+// stats assembles the worker's per-connection byte counters: the
+// session itself, each stage's control and downstream data
+// connections, and every accepted inbound data connection.
+func (w *Worker) stats() *protocol.Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := &protocol.Stats{Worker: w.name}
+	s.Conns = append(s.Conns, w.session.Stat())
+	sis := make([]int, 0, len(w.stages))
+	for si := range w.stages {
+		sis = append(sis, si)
+	}
+	sort.Ints(sis)
+	for _, si := range sis {
+		h := w.stages[si]
+		if h.ctrl != nil {
+			s.Conns = append(s.Conns, h.ctrl.Stat())
+		}
+		if h.down != nil {
+			s.Conns = append(s.Conns, h.down.Stat())
+		}
+	}
+	for _, c := range w.dataConns {
+		s.Conns = append(s.Conns, c.Stat())
+	}
+	return s
+}
+
+// acceptData serves the worker's data listener: each inbound
+// connection names its destination stage in its Hello, waits (inside
+// the handshake) until that stage is assigned, then streams batches.
+func (w *Worker) acceptData() {
+	for {
+		c, h, err := w.dataLn.Accept()
+		if err != nil {
+			return // listener closed: teardown
+		}
+		w.mu.Lock()
+		w.dataConns = append(w.dataConns, c)
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.serveData(c, h)
+	}
+}
+
+// serveData is one inbound data connection: TupleBatch feeds the
+// stage, Flush echoes back (the sender's delivery barrier — by the
+// time the echo is sent, every prior batch has been fed). Exits on
+// EOF (clean shutdown frame) or any error.
+func (w *Worker) serveData(c *Conn, hello *protocol.Hello) {
+	defer w.wg.Done()
+	defer c.Close()
+	st := w.waitStage(hello.Stage)
+	if st == nil {
+		return // tearing down before the stage was assigned
+	}
+	c.SetName(fmt.Sprintf("data %s→s%d", hello.Worker, hello.Stage))
+	if c.Welcome(hello.Stage) != nil {
+		return
+	}
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch {
+		case m.Batch != nil:
+			st.FeedBatch(m.Batch.Tuples)
+		case m.FlushReq != nil:
+			if c.Send(&protocol.Message{FlushReq: m.FlushReq}) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// waitStage blocks until stage si is assigned (returning its stage) or
+// the worker starts tearing down (returning nil).
+func (w *Worker) waitStage(si int) *engine.Stage {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if h, ok := w.stages[si]; ok {
+			return h.st
+		}
+		if w.closed {
+			return nil
+		}
+		w.cond.Wait()
+	}
+}
+
+// teardown closes the worker's own dialed connections first (releasing
+// downstream hosts' inbound loops), then the data plane, then stops
+// the stages — strictly after every feeder goroutine has exited, so no
+// FeedBatch races a stopping stage.
+func (w *Worker) teardown() {
+	w.mu.Lock()
+	w.closed = true
+	stages := make([]*hostedStage, 0, len(w.stages))
+	for _, h := range w.stages {
+		stages = append(stages, h)
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, h := range stages {
+		if h.down != nil {
+			h.down.Close()
+		}
+		if h.ctrl != nil {
+			h.ctrl.Close()
+		}
+	}
+	w.dataLn.Close()
+	w.wg.Wait()
+	for _, h := range stages {
+		h.st.Stop()
+	}
+	w.session.Close()
+}

@@ -27,6 +27,12 @@ type Executor struct {
 	// the symmetric rule that keeps both ends in step without
 	// negotiation — so the stage must rebase it.
 	needFull bool
+	// OnResize, when set, observes every successful Resize actuation
+	// with its delta (+1 scale-out, -1 scale-in), in application order.
+	// The cluster worker records the sequence so the coordinator can
+	// replay the same backlog reshaping on its model state. Called on
+	// the round-driving goroutine; set before the first round.
+	OnResize func(delta int)
 }
 
 // NewExecutor binds an executor to stage si of e, speaking over conn.
@@ -142,6 +148,9 @@ func (x *Executor) RunRound(snap *stats.Snapshot) *engine.Rebalance {
 				reb.ScaledOut++
 			} else {
 				reb.ScaledIn++
+			}
+			if x.OnResize != nil {
+				x.OnResize(delta)
 			}
 			x.ack(m.ResizeCmd.Interval)
 		case m.Split != nil:
@@ -259,14 +268,17 @@ func (x *Executor) canResize(delta int) bool {
 }
 
 // transferObserver emits one StateTransfer per key migration (step 5
-// as a wire event). The state itself moved by reference inside the
-// engine; the message carries the accounting record. Send failures are
-// ignored — the migration already happened, and the round's Ack (or
-// its absence) is what the controller acts on.
+// as a wire event). With the stage in serialized-state mode the
+// message carries the key's encoded windowed state in Payload — the
+// actual bytes a remote host would decode; otherwise the state moved
+// by reference inside the engine and the message is the accounting
+// record alone. Send failures are ignored — the migration already
+// happened, and the round's Ack (or its absence) is what the
+// controller acts on.
 func (x *Executor) transferObserver() engine.MigrationObserver {
-	return func(k tuple.Key, from, to int, size int64) {
+	return func(k tuple.Key, from, to int, size int64, payload []byte) {
 		_ = x.conn.Send(&protocol.Message{State: &protocol.StateTransfer{
-			Key: k, From: from, To: to, Size: size,
+			Key: k, From: from, To: to, Size: size, Payload: payload,
 		}})
 	}
 }
@@ -278,20 +290,14 @@ func (x *Executor) ack(interval int64) {
 }
 
 // Loop wires a complete per-stage control loop in one process: the
-// stage-side Executor, the controller-side policy server on its own
+// stage-side Executor, the controller-side policy Server on its own
 // goroutine, and the Conn pair between them (loopback by default, the
 // gob wire transport with Wire). Register Hook with the engine's
 // per-stage snapshot fan-out; Close tears the server down.
 type Loop struct {
-	x        *Executor
-	ctrl     Conn
-	policies []Policy
-	// mirror is the controller-side retained population model that
-	// turns delta reports back into effective full rounds; it is reset
-	// after any commanded round (the stage rebases it next interval).
-	mirror *protocol.Mirror
-	wg     sync.WaitGroup
-	once   sync.Once
+	x    *Executor
+	srv  *Server
+	once sync.Once
 }
 
 // LoopOption configures NewLoop.
@@ -320,9 +326,8 @@ func NewLoop(e *engine.Engine, si int, policies []Policy, opts ...LoopOption) *L
 	} else {
 		agent, ctrl = NewLoopbackPair()
 	}
-	l := &Loop{x: NewExecutor(e, si, agent), ctrl: ctrl, policies: policies, mirror: protocol.NewMirror()}
-	l.wg.Add(1)
-	go l.serve()
+	l := &Loop{x: NewExecutor(e, si, agent), srv: NewServer(ctrl, policies)}
+	l.srv.Start()
 	return l
 }
 
@@ -345,131 +350,8 @@ func (l *Loop) Hook() engine.SnapshotHook {
 func (l *Loop) Close() {
 	l.once.Do(func() {
 		l.x.conn.Close()
-		l.ctrl.Close()
-		l.wg.Wait()
+		l.srv.Close()
 	})
-}
-
-// serve is the controller side: for every round it gathers the
-// per-task reports, reassembles the snapshot and stage context, asks
-// each policy to decide, streams the resulting commands to the
-// executor (draining the per-command StateTransfer/Ack replies), and
-// closes the round with Resume. It exits when the transport closes.
-func (l *Loop) serve() {
-	defer l.wg.Done()
-	for {
-		env, snap, ok := l.recvRound()
-		if !ok {
-			return
-		}
-		var cmds []Command
-		for _, p := range l.policies {
-			cmds = append(cmds, p.Decide(env, snap)...)
-		}
-		for _, c := range cmds {
-			var msg *protocol.Message
-			switch c := c.(type) {
-			case Rebalance:
-				msg = &protocol.Message{Plan: protocol.AnnounceFromPlan(env.Interval, c.Plan)}
-			case ScaleOut:
-				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: 1}}
-			case ScaleIn:
-				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: -1}}
-			case SetSplit:
-				ann := &protocol.SplitAnnounce{Interval: env.Interval}
-				for _, sp := range c.Set {
-					ann.Set = append(ann.Set, protocol.SplitEntry{Key: sp.Key, Fan: sp.Fan})
-				}
-				msg = &protocol.Message{Split: ann}
-			default:
-				continue
-			}
-			if l.ctrl.Send(msg) != nil {
-				return
-			}
-			// Drain the command's transfer stream up to its Ack.
-			for {
-				m, err := l.ctrl.Recv()
-				if err != nil {
-					return
-				}
-				if m.Ack != nil {
-					break
-				}
-				if m.State == nil {
-					return // protocol violation
-				}
-			}
-		}
-		if len(cmds) > 0 {
-			// Symmetric to the executor's needFull rule: a commanded
-			// round's side effects land in the next close's delta, so
-			// forget the mirror and expect a full rebase. (Commands the
-			// executor rejected as holds still crossed the wire, so both
-			// ends count them identically.)
-			l.mirror.Reset()
-		}
-		if l.ctrl.Send(&protocol.Message{Resume: &protocol.Resume{Interval: env.Interval}}) != nil {
-			return
-		}
-	}
-}
-
-// recvRound collects one round's load reports, folds them through the
-// delta mirror (requesting one full resync if the mirror cannot apply
-// them), and reconstructs the snapshot and stage context.
-func (l *Loop) recvRound() (Env, *stats.Snapshot, bool) {
-	reports, ok := l.recvReports()
-	if !ok {
-		return Env{}, nil, false
-	}
-	eff, err := l.mirror.Apply(reports)
-	if err != nil {
-		// Epoch gap or shape change the mirror cannot bridge: ask the
-		// stage to resend the round in full, then retry once. A second
-		// failure is a protocol violation; give up on the transport.
-		if l.ctrl.Send(&protocol.Message{ResyncReq: &protocol.Resync{Interval: reports[0].Interval}}) != nil {
-			return Env{}, nil, false
-		}
-		if reports, ok = l.recvReports(); !ok {
-			return Env{}, nil, false
-		}
-		if eff, err = l.mirror.Apply(reports); err != nil {
-			return Env{}, nil, false
-		}
-	}
-	r := reports[0]
-	env := Env{
-		Interval:  r.Interval,
-		Tasks:     r.Tasks,
-		Capacity:  r.Capacity,
-		Emitted:   r.Emitted,
-		Budget:    r.Budget,
-		Routable:  r.Routable,
-		Resizable: r.Resizable,
-		SplitKeys: r.Split,
-	}
-	return env, protocol.SnapshotFromReports(eff), true
-}
-
-// recvReports collects the per-task reports of one round (the first
-// report's Tasks field says how many are coming).
-func (l *Loop) recvReports() ([]*protocol.LoadReport, bool) {
-	first, err := l.ctrl.Recv()
-	if err != nil || first.Report == nil {
-		return nil, false
-	}
-	r := first.Report
-	reports := make([]*protocol.LoadReport, 0, r.Tasks)
-	reports = append(reports, r)
-	for len(reports) < r.Tasks {
-		m, err := l.ctrl.Recv()
-		if err != nil || m.Report == nil {
-			return nil, false
-		}
-		reports = append(reports, m.Report)
-	}
-	return reports, true
 }
 
 // WireBytes reports the cumulative bytes the controller transport has
@@ -478,12 +360,5 @@ func (l *Loop) recvReports() ([]*protocol.LoadReport, bool) {
 // zeros). bench-control and the harvest sweep use it to measure
 // control-plane bandwidth.
 func (l *Loop) WireBytes() (sent, rcvd int64) {
-	type counter interface {
-		SentBytes() int64
-		RecvBytes() int64
-	}
-	if c, ok := l.ctrl.(counter); ok {
-		return c.SentBytes(), c.RecvBytes()
-	}
-	return 0, 0
+	return l.srv.WireBytes()
 }

@@ -1,0 +1,195 @@
+package control
+
+import (
+	"sync"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// Server is the controller side of the per-stage control loop, detached
+// from any particular transport: it answers an Executor over a Conn —
+// the in-process loopback, the gob pipe, or a cluster socket — running
+// the given policies each round. Loop composes one with an Executor for
+// the single-process case; the cluster coordinator runs one per remote
+// stage, which is how the distributed control plane reuses the exact
+// protocol logic the loopback pins.
+type Server struct {
+	conn     Conn
+	policies []Policy
+	// mirror is the controller-side retained population model that
+	// turns delta reports back into effective full rounds; it is reset
+	// after any commanded round (the stage rebases it next interval).
+	mirror *protocol.Mirror
+	// OnRound, when set, observes every completed round's stage context
+	// and reassembled snapshot after the policies ran and the round was
+	// resumed-or-commanded. The cluster coordinator records these to pin
+	// distributed snapshots against the single-process run. Called on
+	// the server goroutine; set before Start.
+	OnRound func(Env, *stats.Snapshot)
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewServer builds a policy server answering on conn. Call Start to
+// launch it and Close to tear it down.
+func NewServer(conn Conn, policies []Policy) *Server {
+	return &Server{conn: conn, policies: policies, mirror: protocol.NewMirror()}
+}
+
+// Start launches the server goroutine. It exits when the transport
+// closes; Close waits for it.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.serve()
+}
+
+// Close shuts the transport down and waits for the server goroutine to
+// exit, so policy state is safe to read afterwards. Safe to call more
+// than once.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.conn.Close()
+		s.wg.Wait()
+	})
+}
+
+// WireBytes reports the cumulative bytes the server's transport has
+// sent and received, when the transport counts them (the gob wire and
+// socket transports do; the in-process loopback moves no bytes and
+// reports zeros).
+func (s *Server) WireBytes() (sent, rcvd int64) {
+	type counter interface {
+		SentBytes() int64
+		RecvBytes() int64
+	}
+	if c, ok := s.conn.(counter); ok {
+		return c.SentBytes(), c.RecvBytes()
+	}
+	return 0, 0
+}
+
+// serve is the controller side: for every round it gathers the
+// per-task reports, reassembles the snapshot and stage context, asks
+// each policy to decide, streams the resulting commands to the
+// executor (draining the per-command StateTransfer/Ack replies), and
+// closes the round with Resume. It exits when the transport closes.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for {
+		env, snap, ok := s.recvRound()
+		if !ok {
+			return
+		}
+		var cmds []Command
+		for _, p := range s.policies {
+			cmds = append(cmds, p.Decide(env, snap)...)
+		}
+		for _, c := range cmds {
+			var msg *protocol.Message
+			switch c := c.(type) {
+			case Rebalance:
+				msg = &protocol.Message{Plan: protocol.AnnounceFromPlan(env.Interval, c.Plan)}
+			case ScaleOut:
+				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: 1}}
+			case ScaleIn:
+				msg = &protocol.Message{ResizeCmd: &protocol.Resize{Interval: env.Interval, Delta: -1}}
+			case SetSplit:
+				ann := &protocol.SplitAnnounce{Interval: env.Interval}
+				for _, sp := range c.Set {
+					ann.Set = append(ann.Set, protocol.SplitEntry{Key: sp.Key, Fan: sp.Fan})
+				}
+				msg = &protocol.Message{Split: ann}
+			default:
+				continue
+			}
+			if s.conn.Send(msg) != nil {
+				return
+			}
+			// Drain the command's transfer stream up to its Ack.
+			for {
+				m, err := s.conn.Recv()
+				if err != nil {
+					return
+				}
+				if m.Ack != nil {
+					break
+				}
+				if m.State == nil {
+					return // protocol violation
+				}
+			}
+		}
+		if len(cmds) > 0 {
+			// Symmetric to the executor's needFull rule: a commanded
+			// round's side effects land in the next close's delta, so
+			// forget the mirror and expect a full rebase. (Commands the
+			// executor rejected as holds still crossed the wire, so both
+			// ends count them identically.)
+			s.mirror.Reset()
+		}
+		if s.conn.Send(&protocol.Message{Resume: &protocol.Resume{Interval: env.Interval}}) != nil {
+			return
+		}
+		if s.OnRound != nil {
+			s.OnRound(env, snap)
+		}
+	}
+}
+
+// recvRound collects one round's load reports, folds them through the
+// delta mirror (requesting one full resync if the mirror cannot apply
+// them), and reconstructs the snapshot and stage context.
+func (s *Server) recvRound() (Env, *stats.Snapshot, bool) {
+	reports, ok := s.recvReports()
+	if !ok {
+		return Env{}, nil, false
+	}
+	eff, err := s.mirror.Apply(reports)
+	if err != nil {
+		// Epoch gap or shape change the mirror cannot bridge: ask the
+		// stage to resend the round in full, then retry once. A second
+		// failure is a protocol violation; give up on the transport.
+		if s.conn.Send(&protocol.Message{ResyncReq: &protocol.Resync{Interval: reports[0].Interval}}) != nil {
+			return Env{}, nil, false
+		}
+		if reports, ok = s.recvReports(); !ok {
+			return Env{}, nil, false
+		}
+		if eff, err = s.mirror.Apply(reports); err != nil {
+			return Env{}, nil, false
+		}
+	}
+	r := reports[0]
+	env := Env{
+		Interval:  r.Interval,
+		Tasks:     r.Tasks,
+		Capacity:  r.Capacity,
+		Emitted:   r.Emitted,
+		Budget:    r.Budget,
+		Routable:  r.Routable,
+		Resizable: r.Resizable,
+		SplitKeys: r.Split,
+	}
+	return env, protocol.SnapshotFromReports(eff), true
+}
+
+// recvReports collects the per-task reports of one round (the first
+// report's Tasks field says how many are coming).
+func (s *Server) recvReports() ([]*protocol.LoadReport, bool) {
+	first, err := s.conn.Recv()
+	if err != nil || first.Report == nil {
+		return nil, false
+	}
+	r := first.Report
+	reports := make([]*protocol.LoadReport, 0, r.Tasks)
+	reports = append(reports, r)
+	for len(reports) < r.Tasks {
+		m, err := s.conn.Recv()
+		if err != nil || m.Report == nil {
+			return nil, false
+		}
+		reports = append(reports, m.Report)
+	}
+	return reports, true
+}

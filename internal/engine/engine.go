@@ -207,16 +207,13 @@ type Engine struct {
 	wired     bool // inter-stage sinks currently wired for Cfg.Pipeline
 	stopped   bool
 	snapshots []*stats.Snapshot // last interval's, per stage (for tests)
-	scratch   []tuple.Tuple     // reusable emission buffer (FeedBatch copies out of it)
-	// Parallel-emission state, built lazily on the first fanned-out
-	// interval: the resolved per-feeder draw sources and one reusable
-	// scratch buffer per feeder.
-	feedShards  []SpoutBatch
-	feedScratch [][]tuple.Tuple
-	// feedHists are the per-feeder feed-latency histograms (index 0 for
-	// the serial path), allocated lazily when Cfg.FeedLatency is set and
-	// merged/reset each interval.
-	feedHists []metrics.LatencyHist
+	// emitter is the emission plane (spout draw → chunked FeedBatch into
+	// stage 0), built lazily on the first interval so spout fields may
+	// be assigned any time before.
+	emitter *Emitter
+	// throttleBacklog is the reusable per-stage backlog view handed to
+	// ThrottleBudget each interval.
+	throttleBacklog [][]int64
 }
 
 // New assembles an engine over the given stages.
@@ -294,6 +291,13 @@ func (e *Engine) AddSnapshotHook(si int, h SnapshotHook) {
 // backpressure suppressed.
 func (e *Engine) LastEmitted() int64 { return e.lastEmit }
 
+// SetLastEmitted records the post-throttle emission for the current
+// interval. Cluster workers call it when the coordinator owns the
+// spout: their stages never run the emission loop, but load reports
+// still carry Emitted so a remote controller judges demand exactly as
+// a single-process run would.
+func (e *Engine) SetLastEmitted(n int64) { e.lastEmit = n }
+
 // LastSnapshots returns the previous interval's per-stage snapshots.
 func (e *Engine) LastSnapshots() []*stats.Snapshot { return e.snapshots }
 
@@ -337,31 +341,13 @@ func (e *Engine) RunInterval() {
 	// throttle the spout exactly like the stage under study. The spout
 	// slows in proportion to the worst backlog-beyond-threshold across
 	// all stages.
-	emitN := e.Cfg.Budget
-	throttle := 1.0
+	if e.throttleBacklog == nil {
+		e.throttleBacklog = make([][]int64, len(e.Stages))
+	}
 	for si, s := range e.Stages {
-		maxPending := int64(e.Cfg.MaxPendingFactor * float64(e.capacity[si]))
-		if maxPending <= 0 {
-			continue
-		}
-		var worst int64
-		for _, b := range s.Backlog {
-			if b > worst {
-				worst = b
-			}
-		}
-		if worst > maxPending {
-			if f := float64(maxPending) / float64(worst); f < throttle {
-				throttle = f
-			}
-		}
+		e.throttleBacklog[si] = s.Backlog
 	}
-	if throttle < 1 {
-		if throttle < 0.1 {
-			throttle = 0.1
-		}
-		emitN = int64(throttle * float64(emitN))
-	}
+	emitN := ThrottleBudget(e.Cfg.Budget, e.Cfg.MaxPendingFactor, e.capacity, e.throttleBacklog)
 	e.lastEmit = emitN
 
 	// Feed the pipeline. Emission runs through reusable scratch buffers
@@ -464,12 +450,9 @@ func (e *Engine) RunInterval() {
 	}
 	m.Index = e.interval
 	m.Emitted = emitN
-	if e.Cfg.FeedLatency && len(e.feedHists) > 0 {
+	if e.Cfg.FeedLatency && e.emitter != nil && e.emitter.HasLatency() {
 		var merged metrics.LatencyHist
-		for f := range e.feedHists {
-			merged.Merge(&e.feedHists[f])
-			e.feedHists[f].Reset()
-		}
+		e.emitter.DrainLatency(&merged)
 		m.FeedP50Us = merged.QuantileUs(0.50)
 		m.FeedP99Us = merged.QuantileUs(0.99)
 	}
@@ -497,29 +480,96 @@ func (e *Engine) RunInterval() {
 // returns the interval metrics (throughput, latency, skewness).
 func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 	s := e.Stages[si]
-	// The controller hook may have resized the stage after arrivals
-	// were captured: new instances simply had zero arrivals; a retired
-	// instance's captured arrivals fold into the last survivor (its
-	// already-processed work must stay in the throughput account, and
-	// its keys' future tuples route to survivors anyway).
-	for len(cost) < s.Instances() {
+	p := ModelParams{
+		Capacity:        e.capacity[si],
+		MigrationFactor: e.Cfg.MigrationFactor,
+		LatencyFloorMs:  e.Cfg.LatencyFloorMs,
+	}
+	return StepModel(p, s.Backlog, e.backlogT[si], s.MigPenalty, cost, tuples)
+}
+
+// ModelParams are the per-stage constants of the queueing model:
+// everything StepModel needs beyond the interval's arrays.
+type ModelParams struct {
+	// Capacity is the per-task service capacity in cost units per
+	// interval.
+	Capacity int64
+	// MigrationFactor converts one unit of migrated state into consumed
+	// service capacity (Config.MigrationFactor).
+	MigrationFactor float64
+	// LatencyFloorMs is the additive latency term
+	// (Config.LatencyFloorMs).
+	LatencyFloorMs float64
+}
+
+// ThrottleBudget applies Storm's max-pending backpressure to one
+// interval's spout budget: the spout slows in proportion to the worst
+// backlog-beyond-threshold across all stages (capacity[si] and
+// backlog[si] describe stage si; a non-positive threshold exempts the
+// stage), floored at 10% of the budget. It is the engine's throttle
+// step detached from the engine so a cluster coordinator — which holds
+// the stages' backlog arrays but not the stages — computes the
+// bit-identical emission decision.
+func ThrottleBudget(budget int64, maxPendingFactor float64, capacity []int64, backlog [][]int64) int64 {
+	emitN := budget
+	throttle := 1.0
+	for si := range backlog {
+		maxPending := int64(maxPendingFactor * float64(capacity[si]))
+		if maxPending <= 0 {
+			continue
+		}
+		var worst int64
+		for _, b := range backlog[si] {
+			if b > worst {
+				worst = b
+			}
+		}
+		if worst > maxPending {
+			if f := float64(maxPending) / float64(worst); f < throttle {
+				throttle = f
+			}
+		}
+	}
+	if throttle < 1 {
+		if throttle < 0.1 {
+			throttle = 0.1
+		}
+		emitN = int64(throttle * float64(emitN))
+	}
+	return emitN
+}
+
+// StepModel advances one stage's queueing model by one interval and
+// returns the interval metrics (throughput, latency, skewness). The
+// instance count is len(backlog); backlog (cost units) and backlogT
+// (tuples) are updated in place and migPenalty is consumed and zeroed.
+// cost and tuples are the interval's per-instance arrivals, captured
+// before any resize: shorter arrays pad with zero-arrival instances, a
+// longer tail (retired instances) folds into the last survivor — its
+// already-processed work must stay in the throughput account, and its
+// keys' future tuples route to survivors anyway. Exported so a cluster
+// coordinator can run the identical model over arrival accounting that
+// crossed the wire.
+func StepModel(p ModelParams, backlog, backlogT, migPenalty, cost, tuples []int64) metrics.Interval {
+	n := len(backlog)
+	for len(cost) < n {
 		cost = append(cost, 0)
 		tuples = append(tuples, 0)
 	}
-	if n := s.Instances(); len(cost) > n {
+	if len(cost) > n {
 		for d := n; d < len(cost); d++ {
 			cost[n-1] += cost[d]
 			tuples[n-1] += tuples[d]
 		}
 		cost, tuples = cost[:n], tuples[:n]
 	}
-	cap64 := e.capacity[si]
+	cap64 := p.Capacity
 	var thr float64
 	var latSum, latW float64
-	for d := 0; d < s.Instances(); d++ {
-		offeredC := s.Backlog[d] + cost[d]
-		offeredT := e.backlogT[si][d] + tuples[d]
-		eff := cap64 - int64(e.Cfg.MigrationFactor*float64(s.MigPenalty[d]))
+	for d := 0; d < n; d++ {
+		offeredC := backlog[d] + cost[d]
+		offeredT := backlogT[d] + tuples[d]
+		eff := cap64 - int64(p.MigrationFactor*float64(migPenalty[d]))
 		if eff < 0 {
 			eff = 0
 		}
@@ -535,7 +585,7 @@ func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 		newBacklogT := offeredT - processedT
 		// Latency: average queueing delay over the interval plus the
 		// service time of one tuple, in ms of the 1-second interval.
-		avgQ := float64(s.Backlog[d]+newBacklogC) / 2
+		avgQ := float64(backlog[d]+newBacklogC) / 2
 		var lat float64
 		if cap64 > 0 {
 			lat = 1000 * avgQ / float64(cap64)
@@ -543,13 +593,13 @@ func (e *Engine) model(si int, cost, tuples []int64) metrics.Interval {
 				lat += 1000 * (float64(offeredC) / float64(offeredT)) / float64(cap64)
 			}
 		}
-		lat += e.Cfg.LatencyFloorMs
+		lat += p.LatencyFloorMs
 		latSum += lat * float64(tuples[d])
 		latW += float64(tuples[d])
 		thr += float64(processedT)
-		s.Backlog[d] = newBacklogC
-		e.backlogT[si][d] = newBacklogT
-		s.MigPenalty[d] = 0
+		backlog[d] = newBacklogC
+		backlogT[d] = newBacklogT
+		migPenalty[d] = 0
 	}
 	var m metrics.Interval
 	m.Throughput = thr

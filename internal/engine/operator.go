@@ -21,6 +21,16 @@ import (
 	"repro/internal/tuple"
 )
 
+// BatchSink consumes batches of tuples: the downstream end of a
+// pipeline edge. In-process it is the next *Stage; across a process
+// boundary it is a cluster data connection streaming the same batches
+// to the next stage's host. FeedBatch must copy what it keeps — the
+// caller reuses the slice immediately — and must tolerate concurrent
+// callers.
+type BatchSink interface {
+	FeedBatch(ts []tuple.Tuple)
+}
+
 // TaskCtx is the per-instance execution context handed to operators.
 type TaskCtx struct {
 	// ID is the task instance id within its operator (0..ND-1).
@@ -36,11 +46,12 @@ type TaskCtx struct {
 	// and at interval close, so it never grows past one chunk. Without a
 	// sink it accumulates for the driver's DrainEmitted.
 	out []tuple.Tuple
-	// sink is the downstream stage pipelined emissions flush into. It is
-	// nil under store-and-forward execution (the driver drains out
-	// instead) and on the last stage (whose emissions are discarded at
-	// interval close, as the driver's drain-and-drop does).
-	sink *Stage
+	// sink is the downstream edge pipelined emissions flush into — the
+	// next stage in process, or a cluster data connection to its remote
+	// host. It is nil under store-and-forward execution (the driver
+	// drains out instead) and on the last stage (whose emissions are
+	// discarded at interval close, as the driver's drain-and-drop does).
+	sink BatchSink
 	// emitTick is the interval index stamped on emitted tuples,
 	// maintained by Stage.StartInterval.
 	emitTick int64

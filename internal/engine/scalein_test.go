@@ -63,7 +63,7 @@ func TestStageScaleInMigratesEverything(t *testing.T) {
 	}
 
 	var transferred int64
-	moved, errScaleIn := st.ScaleInObserved(func(k tuple.Key, from, to int, size int64) {
+	moved, errScaleIn := st.ScaleInObserved(func(k tuple.Key, from, to int, size int64, payload []byte) {
 		if from != 2 {
 			t.Fatalf("key %d migrated from surviving instance %d during scale-in", k, from)
 		}

@@ -74,58 +74,124 @@ func (e *Engine) batchSpout() SpoutBatch {
 
 // emit feeds emitN tuples of the current interval into stage 0 and
 // returns how many were actually drawn (fewer when a finite source
-// ends early). Dispatches between the serial path and the feeder
-// fan-out on Cfg.Feeders.
+// ends early).
 func (e *Engine) emit(emitN int64) int64 {
-	if e.Cfg.FeedLatency && e.feedHists == nil {
-		n := e.Cfg.Feeders
-		if n < 1 {
-			n = 1
+	if e.emitter == nil {
+		// Generator-provided shards cover the parallel draw on their
+		// own; only resolve the unified spout when some path needs it.
+		var sb SpoutBatch
+		if e.Cfg.Feeders <= 1 || len(e.SpoutShards) == 0 {
+			sb = e.batchSpout()
 		}
-		e.feedHists = make([]metrics.LatencyHist, n)
+		e.emitter = NewEmitter(e.Stages[0], sb, e.SpoutShards, e.Cfg.Feeders, e.Cfg.FeedLatency)
 	}
-	if e.Cfg.Feeders > 1 {
-		return e.emitParallel(emitN)
-	}
-	return e.emitSerial(emitN)
+	return e.emitter.Emit(e.interval, emitN)
 }
 
-// feedTimed routes one chunk into stage 0, wall-clock timing the feed
+// Emitter is the emission plane detached from the engine: it draws an
+// interval's tuples from a (possibly sharded) spout and feeds them
+// into any BatchSink in emitChunk-sized batches — the first stage of
+// an in-process engine, or a cluster data connection fanning the same
+// batches to a remote stage host. The engine and the cluster
+// coordinator run this exact code, which is what pins their chunk
+// boundaries (and hence shuffle routing and arrival accounting)
+// bit-identical.
+type Emitter struct {
+	sink    BatchSink
+	feeders int
+	sb      SpoutBatch
+	shards  []SpoutBatch
+	scratch [][]tuple.Tuple
+	// hists are the per-feeder feed-latency histograms (index 0 for the
+	// serial path); nil when latency measurement is off.
+	hists []metrics.LatencyHist
+}
+
+// NewEmitter builds an emission plane over sink. feeders ≤ 1 selects
+// the serial path; with feeders > 1, shards (len == feeders) gives
+// each feeder its own partitioned draw source, or nil wraps sb in a
+// mutex sharder (ShardSpout), preserving the drawn multiset exactly.
+func NewEmitter(sink BatchSink, sb SpoutBatch, shards []SpoutBatch, feeders int, feedLatency bool) *Emitter {
+	if feeders < 1 {
+		feeders = 1
+	}
+	em := &Emitter{sink: sink, sb: sb, feeders: feeders}
+	if feeders > 1 {
+		if len(shards) > 0 {
+			if len(shards) != feeders {
+				panic("engine: len(SpoutShards) must equal Cfg.Feeders")
+			}
+			em.shards = shards
+		} else {
+			em.shards = ShardSpout(sb, feeders)
+		}
+	}
+	em.scratch = make([][]tuple.Tuple, feeders)
+	if feedLatency {
+		em.hists = make([]metrics.LatencyHist, feeders)
+	}
+	return em
+}
+
+// Emit feeds emitN tuples stamped with interval into the sink and
+// returns how many were actually drawn (fewer when a finite source
+// ends early). Dispatches between the serial path and the feeder
+// fan-out.
+func (em *Emitter) Emit(interval, emitN int64) int64 {
+	if em.feeders > 1 {
+		return em.emitParallel(interval, emitN)
+	}
+	return em.emitSerial(interval, emitN)
+}
+
+// HasLatency reports whether feed-latency histograms are collected.
+func (em *Emitter) HasLatency() bool { return em.hists != nil }
+
+// DrainLatency merges the interval's per-feeder feed-latency
+// histograms into dst and resets them.
+func (em *Emitter) DrainLatency(dst *metrics.LatencyHist) {
+	for f := range em.hists {
+		dst.Merge(&em.hists[f])
+		em.hists[f].Reset()
+	}
+}
+
+// feedTimed routes one chunk into the sink, wall-clock timing the feed
 // call into hist when the feed-latency histogram is enabled (hist is
 // owned by the calling feeder; no synchronization needed).
-func (e *Engine) feedTimed(buf []tuple.Tuple, hist *metrics.LatencyHist) {
+func (em *Emitter) feedTimed(buf []tuple.Tuple, hist *metrics.LatencyHist) {
 	if hist == nil {
-		e.Stages[0].FeedBatch(buf)
+		em.sink.FeedBatch(buf)
 		return
 	}
 	t0 := time.Now()
-	e.Stages[0].FeedBatch(buf)
+	em.sink.FeedBatch(buf)
 	hist.Observe(time.Since(t0))
 }
 
 // emitSerial is the single-feeder emission loop, byte-for-byte the
 // pre-fan-out engine behavior: one goroutine, one scratch buffer,
 // emitChunk-sized draws.
-func (e *Engine) emitSerial(emitN int64) int64 {
-	sb := e.batchSpout()
-	if cap(e.scratch) < emitChunk {
-		e.scratch = make([]tuple.Tuple, emitChunk)
+func (em *Emitter) emitSerial(interval, emitN int64) int64 {
+	sb := em.sb
+	if cap(em.scratch[0]) < emitChunk {
+		em.scratch[0] = make([]tuple.Tuple, emitChunk)
 	}
 	var hist *metrics.LatencyHist
-	if e.feedHists != nil {
-		hist = &e.feedHists[0]
+	if em.hists != nil {
+		hist = &em.hists[0]
 	}
 	for j := int64(0); j < emitN; {
 		c := emitN - j
 		if c > emitChunk {
 			c = emitChunk
 		}
-		buf := e.scratch[:c]
+		buf := em.scratch[0][:c]
 		got := sb(buf)
 		for i := 0; i < got; i++ {
-			buf[i].EmitTick = e.interval
+			buf[i].EmitTick = interval
 		}
-		e.feedTimed(buf[:got], hist)
+		em.feedTimed(buf[:got], hist)
 		j += int64(got)
 		if int64(got) < c {
 			return j
@@ -134,27 +200,16 @@ func (e *Engine) emitSerial(emitN int64) int64 {
 	return emitN
 }
 
-// emitParallel fans emission out to Cfg.Feeders goroutines. The budget
+// emitParallel fans emission out to the feeder goroutines. The budget
 // is split into per-feeder quotas before the fan-out (throttling has
 // already shaped emitN), so each feeder knows its share up front and
 // the fan-out needs no mid-interval coordination beyond the draw
 // itself. Feeder f draws through its shard into its own scratch and
 // calls FeedBatch concurrently with the others — safe per the stage's
-// mu-guarded partition scratch and refcounted batch buffers.
-func (e *Engine) emitParallel(emitN int64) int64 {
-	feeders := e.Cfg.Feeders
-	if e.feedShards == nil {
-		if len(e.SpoutShards) > 0 {
-			if len(e.SpoutShards) != feeders {
-				panic("engine: len(SpoutShards) must equal Cfg.Feeders")
-			}
-			e.feedShards = e.SpoutShards
-		} else {
-			e.feedShards = ShardSpout(e.batchSpout(), feeders)
-		}
-		e.feedScratch = make([][]tuple.Tuple, feeders)
-	}
-	interval := e.interval
+// mu-guarded partition scratch and refcounted batch buffers (and the
+// cluster BatchConn's send mutex).
+func (em *Emitter) emitParallel(interval, emitN int64) int64 {
+	feeders := em.feeders
 	var wg sync.WaitGroup
 	var total atomic.Int64
 	quota := emitN / int64(feeders)
@@ -167,12 +222,12 @@ func (e *Engine) emitParallel(emitN int64) int64 {
 		if q == 0 {
 			continue
 		}
-		if cap(e.feedScratch[f]) < emitChunk {
-			e.feedScratch[f] = make([]tuple.Tuple, emitChunk)
+		if cap(em.scratch[f]) < emitChunk {
+			em.scratch[f] = make([]tuple.Tuple, emitChunk)
 		}
 		var hist *metrics.LatencyHist
-		if e.feedHists != nil {
-			hist = &e.feedHists[f]
+		if em.hists != nil {
+			hist = &em.hists[f]
 		}
 		wg.Add(1)
 		go func(sb SpoutBatch, scratch []tuple.Tuple, q int64, hist *metrics.LatencyHist) {
@@ -187,14 +242,14 @@ func (e *Engine) emitParallel(emitN int64) int64 {
 				for i := 0; i < got; i++ {
 					buf[i].EmitTick = interval
 				}
-				e.feedTimed(buf[:got], hist)
+				em.feedTimed(buf[:got], hist)
 				j += int64(got)
 				total.Add(int64(got))
 				if int64(got) < c {
 					return
 				}
 			}
-		}(e.feedShards[f], e.feedScratch[f], q, hist)
+		}(em.shards[f], em.scratch[f], q, hist)
 	}
 	wg.Wait()
 	return total.Load()

@@ -94,9 +94,10 @@ type Stage struct {
 	MigPenalty []int64
 
 	// down is the pipelined emission sink (nil when store-and-forward
-	// or last stage); curTick the current interval index. Both are
-	// propagated to tasks created later by ScaleOut.
-	down    *Stage
+	// or last stage): the next stage in process, or a cluster data
+	// connection to its remote host. curTick is the current interval
+	// index. Both are propagated to tasks created later by ScaleOut.
+	down    BatchSink
 	curTick int64
 	// drainBuf is DrainEmitted's reused concatenation buffer, so the
 	// legacy store-and-forward path allocates nothing per interval once
@@ -108,6 +109,17 @@ type Stage struct {
 	// retained close, the control plane's delta-report input.
 	harvest    HarvestMode
 	lastDeltas []stats.Delta
+
+	// stateWire routes every key migration through the state codec:
+	// extracted windows are serialized, and the *decoded* copy is what
+	// the destination injects — the cross-process migration path, also
+	// selectable in process so its equivalence with the in-memory
+	// reference stays pinned by test. codecErrs counts codec failures
+	// (the transfer falls back to the in-memory reference so no state is
+	// lost; nonzero means an operator shipped an unregistered value
+	// type).
+	stateWire atomic.Bool
+	codecErrs atomic.Int64
 
 	stopped bool
 }
@@ -498,10 +510,61 @@ func (s *Stage) Barrier() {
 // tasks are idle; the engine does so before the first pipelined
 // interval.
 func (s *Stage) SetDownstream(next *Stage) {
-	s.down = next
-	for _, t := range s.tasks {
-		t.ctx.sink = next
+	if next == nil {
+		// Guard the typed-nil trap: assigning a nil *Stage into the
+		// BatchSink interface would make ctx.sink non-nil.
+		s.SetSink(nil)
+		return
 	}
+	s.SetSink(next)
+}
+
+// SetSink wires the stage's pipelined emissions into an arbitrary
+// BatchSink — the generalization of SetDownstream the cluster runtime
+// uses to point a stage's output at a data connection crossing a
+// process boundary. Must be called while tasks are idle.
+func (s *Stage) SetSink(sink BatchSink) {
+	s.down = sink
+	for _, t := range s.tasks {
+		t.ctx.sink = sink
+	}
+}
+
+// SetStateWire selects serialized-state migration: every key transfer
+// this stage performs round-trips through state.Codec and the decoded
+// copy is injected, exactly as a cross-process migration would arrive.
+// Off (the default) moves state by reference — the pinned equivalence
+// oracle. Must be called while the stage is idle.
+func (s *Stage) SetStateWire(on bool) { s.stateWire.Store(on) }
+
+// StateWire reports whether serialized-state migration is selected.
+func (s *Stage) StateWire() bool { return s.stateWire.Load() }
+
+// StateWireErrs returns the cumulative count of state-codec failures
+// (each fell back to the in-memory reference move).
+func (s *Stage) StateWireErrs() int64 { return s.codecErrs.Load() }
+
+// serializeTransfer routes one extracted transfer through the state
+// codec when state-wire mode is on: the caller injects the returned
+// Migrated/mem (a decoded copy sharing nothing with the source store)
+// and ships the returned payload in its StateTransfer message. With
+// state-wire off — or on a codec failure, which is counted — the
+// original references pass through and the payload is nil.
+func (s *Stage) serializeTransfer(m state.Migrated, mem int64) (state.Migrated, int64, []byte) {
+	if !s.stateWire.Load() {
+		return m, mem, nil
+	}
+	p, err := state.Codec{}.Encode(m, mem)
+	if err != nil {
+		s.codecErrs.Add(1)
+		return m, mem, nil
+	}
+	dm, dmem, err := state.Codec{}.Decode(p)
+	if err != nil {
+		s.codecErrs.Add(1)
+		return m, mem, nil
+	}
+	return dm, dmem, p
 }
 
 // StartInterval publishes the interval index tasks stamp on emitted
@@ -713,6 +776,7 @@ func (s *Stage) ApplyPlanLiveObserved(plan *balance.Plan, obs MigrationObserver)
 			mem = ctx.Tracker.WindowedMem(k)
 			ctx.Tracker.DropKey(k)
 		})
+		m, mem, payload := s.serializeTransfer(m, mem)
 		s.tasks[dst].barrier(func(ctx *TaskCtx) {
 			if m.Size > 0 {
 				ctx.Store.Inject(m)
@@ -726,7 +790,7 @@ func (s *Stage) ApplyPlanLiveObserved(plan *balance.Plan, obs MigrationObserver)
 		s.MigPenalty[dst] += m.Size
 		s.mu.Unlock()
 		if obs != nil {
-			obs(k, src, dst, m.Size)
+			obs(k, src, dst, m.Size, payload)
 		}
 		moved += m.Size
 	}
@@ -857,6 +921,7 @@ func (s *Stage) applyMovesLive(next *route.Assignment, moves []keyMove, obs Migr
 			}
 			src.reroute[mv.k] = newGen
 		})
+		m, mem, payload := s.serializeTransfer(m, mem)
 		dst.barrier(func(ctx *TaskCtx) {
 			if m.Size > 0 {
 				ctx.Store.Inject(m)
@@ -871,7 +936,7 @@ func (s *Stage) applyMovesLive(next *route.Assignment, moves []keyMove, obs Migr
 		s.MigPenalty[mv.dst] += m.Size
 		s.mu.Unlock()
 		if obs != nil {
-			obs(mv.k, mv.src, mv.dst, m.Size)
+			obs(mv.k, mv.src, mv.dst, m.Size, payload)
 		}
 		moved += m.Size
 	}
@@ -885,10 +950,13 @@ func (s *Stage) applyMovesLive(next *route.Assignment, moves []keyMove, obs Migr
 
 // MigrationObserver is notified of every key migration an actuation
 // performs (plan application, scale-out, scale-in): key, source task,
-// destination task and the migrated state volume. The control plane's
-// executor uses it to emit one protocol.StateTransfer per migration —
-// step 5 of Fig. 5 as an observable wire event.
-type MigrationObserver = func(k tuple.Key, from, to int, size int64)
+// destination task, the migrated state volume, and — in state-wire
+// mode — the serialized window that crossed the codec (nil otherwise).
+// The control plane's executor uses it to emit one
+// protocol.StateTransfer per migration — step 5 of Fig. 5 as an
+// observable wire event, carrying the real payload when migration runs
+// serialized.
+type MigrationObserver = func(k tuple.Key, from, to int, size int64, payload []byte)
 
 // ApplyPlan executes a rebalance plan against live state at hook time
 // (between Barrier/EndInterval and the next Feed): move each key's
@@ -924,9 +992,9 @@ func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) (in
 		if src == dst {
 			continue
 		}
-		size := s.migrateKey(k, src, dst)
+		size, payload := s.migrateKey(k, src, dst)
 		if obs != nil {
-			obs(k, src, dst, size)
+			obs(k, src, dst, size, payload)
 		}
 		moved += size
 	}
@@ -938,12 +1006,15 @@ func (s *Stage) ApplyPlanObserved(plan *balance.Plan, obs MigrationObserver) (in
 // migrateKey moves one key's state and tracker history from task src to
 // task dst, charging the transfer volume to both sides' migration
 // penalty (send + receive). Tasks are idle (post-barrier), so ctx
-// access is safe.
-func (s *Stage) migrateKey(k tuple.Key, src, dst int) int64 {
+// access is safe. In state-wire mode the transfer round-trips through
+// the state codec and the serialized window is returned (nil
+// otherwise).
+func (s *Stage) migrateKey(k tuple.Key, src, dst int) (int64, []byte) {
 	sc, dc := s.tasks[src].ctx, s.tasks[dst].ctx
 	m := sc.Store.Extract(k)
 	mem := sc.Tracker.WindowedMem(k)
 	sc.Tracker.DropKey(k)
+	m, mem, payload := s.serializeTransfer(m, mem)
 	if m.Size > 0 {
 		dc.Store.Inject(m)
 	}
@@ -952,7 +1023,7 @@ func (s *Stage) migrateKey(k tuple.Key, src, dst int) int64 {
 	}
 	s.MigPenalty[src] += m.Size
 	s.MigPenalty[dst] += m.Size
-	return m.Size
+	return m.Size, payload
 }
 
 // LiveKeys returns the union of keys holding state on any task.
@@ -1149,9 +1220,9 @@ func (s *Stage) migrateDelta(old, next *route.Assignment, keys []tuple.Key, obs 
 		if from == to {
 			continue
 		}
-		size := s.migrateKey(k, from, to)
+		size, payload := s.migrateKey(k, from, to)
 		if obs != nil {
-			obs(k, from, to, size)
+			obs(k, from, to, size, payload)
 		}
 		moved += size
 	}

@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Length framing for the socket transport. The gob Codec already
+// stages every message into one retained buffer and issues exactly one
+// Write per Send; the framed layer prefixes that write with a 4-byte
+// big-endian length so a socket reader can distinguish a cleanly
+// closed stream from one cut mid-message. A zero-length frame is the
+// clean-shutdown marker: the peer announced it is done, and the reader
+// reports io.EOF from then on. Anything else that ends early — a
+// stream cut inside a header or inside a frame body — surfaces as a
+// truncation error wrapping io.ErrUnexpectedEOF, never as a silently
+// short message.
+//
+// The framed layer sits beneath the Codec, so SentBytes/RecvBytes keep
+// counting gob payload bytes only (frame headers excluded) — the
+// counters stay comparable between loopback, pipe and socket
+// transports.
+
+// maxFrame bounds a single framed message. Nothing the control or data
+// plane sends approaches it; its job is to turn a corrupted or hostile
+// length prefix into an immediate error instead of an attempted
+// 4 GiB allocation.
+const maxFrame = 1 << 28
+
+// frameHeaderLen is the length-prefix size in bytes.
+const frameHeaderLen = 4
+
+// ErrFrameTooLarge reports a length prefix exceeding maxFrame.
+var ErrFrameTooLarge = errors.New("protocol: frame exceeds size limit")
+
+// frameWriter turns the Codec's single Write per message into one
+// header-prefixed write. The header and payload are staged into one
+// retained buffer so the underlying stream still sees a single Write
+// per message (one syscall on a real socket).
+type frameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (fw *frameWriter) Write(p []byte) (int, error) {
+	if len(p) > maxFrame {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(p))
+	}
+	need := frameHeaderLen + len(p)
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, need)
+	}
+	fw.buf = fw.buf[:need]
+	binary.BigEndian.PutUint32(fw.buf[:frameHeaderLen], uint32(len(p)))
+	copy(fw.buf[frameHeaderLen:], p)
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// frameReader reassembles framed messages and serves their payload
+// bytes to the gob decoder. The payload buffer is retained across
+// frames, so steady-state reads allocate nothing.
+type frameReader struct {
+	r    io.Reader
+	buf  []byte
+	off  int
+	n    int
+	done bool
+	hdr  [frameHeaderLen]byte
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	if fr.done {
+		return 0, io.EOF
+	}
+	for fr.off == fr.n {
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+		if fr.done {
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, fr.buf[fr.off:fr.n])
+	fr.off += n
+	return n, nil
+}
+
+// fill reads the next frame into the retained buffer. A clean EOF at a
+// frame boundary is a closed stream; an EOF inside the header or the
+// body is a truncation error.
+func (fr *frameReader) fill() error {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			// Stream closed between frames without the shutdown marker:
+			// still a clean end (the peer's process exited).
+			fr.done = true
+			return nil
+		}
+		return fmt.Errorf("protocol: truncated frame header: %w", io.ErrUnexpectedEOF)
+	}
+	size := binary.BigEndian.Uint32(fr.hdr[:])
+	if size == 0 {
+		// Clean-shutdown marker.
+		fr.done = true
+		return nil
+	}
+	if size > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	if cap(fr.buf) < int(size) {
+		fr.buf = make([]byte, size)
+	}
+	fr.buf = fr.buf[:size]
+	if n, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		return fmt.Errorf("protocol: truncated frame (%d of %d bytes): %w", n, size, io.ErrUnexpectedEOF)
+	}
+	fr.off, fr.n = 0, int(size)
+	return nil
+}
+
+// NewFramedCodec wraps a byte stream in length framing and returns a
+// Codec speaking gob over it. It is the socket-transport variant of
+// NewCodec: same message encoding, same counters, plus frame
+// boundaries so truncation is always detected and shutdown is clean.
+func NewFramedCodec(rw io.ReadWriter) *Codec {
+	c := &Codec{w: &frameWriter{w: rw}}
+	c.enc = gob.NewEncoder(&c.buf)
+	c.dec = gob.NewDecoder(&countingReader{r: &frameReader{r: rw}, n: &c.rcvd})
+	return c
+}
+
+// WriteShutdownFrame writes the zero-length clean-shutdown marker,
+// telling the peer's framed reader to report io.EOF after draining
+// everything sent before it.
+func WriteShutdownFrame(w io.Writer) error {
+	var hdr [frameHeaderLen]byte
+	_, err := w.Write(hdr[:])
+	return err
+}

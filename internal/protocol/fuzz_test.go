@@ -2,12 +2,43 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
 	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/state"
 	"repro/internal/tuple"
 )
+
+func init() {
+	// Interface-typed payload fields (tuple.Value, state.Entry.Value)
+	// need their concrete types registered, exactly as a cluster
+	// deployment registers them at startup.
+	gob.Register(int64(0))
+	gob.Register([]tuple.Key(nil))
+}
+
+// windowPayload builds a real serialized window via state.Codec: a
+// store filled deterministically from the rng, one key extracted and
+// encoded — the exact bytes a cross-process migration ships.
+func windowPayload(r *fuzzRNG, n int) []byte {
+	st := state.NewStore(r.intn(3) + 1)
+	k := tuple.Key(r.next()%64 + 1)
+	for it := 0; it < r.intn(4)+1; it++ {
+		for e := 0; e < n%16; e++ {
+			st.Add(k, state.Entry{Value: int64(r.next() % 1e6), Size: int64(r.intn(8) + 1)})
+		}
+		st.EndInterval()
+	}
+	p, err := state.Codec{}.Encode(st.Extract(k), int64(r.next()%1e6))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // fuzzRNG is a tiny deterministic splitmix64 over the fuzz input, so
 // one (seed, shape) pair expands into arbitrary message contents
@@ -44,7 +75,7 @@ func buildMessage(seed uint64, kind, n int) *Message {
 		}
 		return out
 	}
-	switch kind % 8 {
+	switch kind % 19 {
 	case 0:
 		rep := &LoadReport{
 			TaskID: r.intn(32), Interval: int64(r.intn(1000)),
@@ -101,9 +132,15 @@ func buildMessage(seed uint64, kind, n int) *Message {
 	case 3:
 		var payload []byte
 		if n > 0 {
-			payload = make([]byte, n%4096)
-			for i := range payload {
-				payload[i] = byte(r.next())
+			if r.intn(2) == 0 {
+				// A real serialized window, as the cross-process
+				// migration path ships: gob-encoded buckets of entries.
+				payload = windowPayload(r, n)
+			} else {
+				payload = make([]byte, n%4096)
+				for i := range payload {
+					payload[i] = byte(r.next())
+				}
 			}
 		}
 		return &Message{State: &StateTransfer{
@@ -120,8 +157,88 @@ func buildMessage(seed uint64, kind, n int) *Message {
 			ann.Set = append(ann.Set, SplitEntry{Key: tuple.Key(r.next()), Fan: r.intn(16) + 2})
 		}
 		return &Message{Split: ann}
-	default:
+	case 7:
 		return &Message{ResyncReq: &Resync{Interval: int64(r.intn(1000))}}
+	case 8:
+		roles := []string{"worker", "control", "data"}
+		return &Message{Hello: &Hello{
+			Proto: r.intn(4), Role: roles[r.intn(3)],
+			Worker:   map[int]string{0: "", 1: "w0", 2: "worker-17"}[r.intn(3)],
+			Stage:    r.intn(8),
+			DataAddr: map[int]string{0: "", 1: "/tmp/w.sock", 2: "127.0.0.1:7701"}[r.intn(3)],
+		}}
+	case 9:
+		return &Message{Welcome: &Welcome{Proto: r.intn(4), ID: r.intn(64)}}
+	case 10:
+		return &Message{Assign: &StageAssign{
+			Stage: r.intn(8), Name: "count", Op: "statefulcount",
+			Instances: r.intn(32) + 1, Window: r.intn(8),
+			Algorithm: map[int]string{0: "", 1: "Mixed", 2: "Shuffle"}[r.intn(3)],
+			Capacity:  int64(r.next() % 1e6), Budget: int64(r.next() % 1e6),
+			Harvest: r.intn(3), PauseFree: r.intn(2) == 0, StateWire: r.intn(2) == 0,
+			Control:    r.intn(2) == 0,
+			Downstream: map[int]string{0: "", 1: "/tmp/d.sock"}[r.intn(2)],
+			DownStage:  r.intn(8),
+		}}
+	case 11:
+		return &Message{Start: &StartInterval{
+			Interval: int64(r.intn(1000)), Emit: int64(r.next() % 1e6),
+		}}
+	case 12:
+		return &Message{Close: &CloseStage{Stage: r.intn(8)}}
+	case 13:
+		return &Message{Harvest: &HarvestReq{
+			Stage: r.intn(8), Interval: int64(r.intn(1000)), Emit: int64(r.next() % 1e6),
+		}}
+	case 14:
+		hd := &HarvestDone{
+			Stage: r.intn(8), Interval: int64(r.intn(1000)),
+			Instances: r.intn(32) + 1, LiveState: int64(r.next() % 1e9),
+			Rebalanced: r.intn(2) == 0, PlanMs: float64(r.intn(1e6)) / 1000,
+			TableSize: r.intn(4096), Moved: int64(r.next() % 1e6),
+			ScaledOut: r.intn(2), ScaledIn: r.intn(2),
+			Processed: int64(r.next() % 1e9),
+		}
+		for i := 0; i < n%64; i++ {
+			hd.ArrivedCost = append(hd.ArrivedCost, int64(r.next()%1e6))
+			hd.ArrivedTuples = append(hd.ArrivedTuples, int64(r.next()%1e6))
+			hd.MigPenalty = append(hd.MigPenalty, int64(r.next()%1e6))
+		}
+		for i := 0; i < r.intn(4); i++ {
+			hd.Resizes = append(hd.Resizes, 1-2*r.intn(2))
+		}
+		return &Message{Harvested: hd}
+	case 15:
+		b := &TupleBatch{}
+		for i := 0; i < n%512; i++ {
+			t := tuple.Tuple{
+				Key: tuple.Key(r.next()), Cost: int64(r.intn(16) + 1),
+				StateSize: int64(r.intn(16)), Seq: r.next(),
+				EmitTick: int64(r.intn(1000)),
+				Stream:   map[int]string{0: "", 1: "counts"}[r.intn(2)],
+			}
+			switch r.intn(3) {
+			case 0: // nil payload
+			case 1:
+				t.Value = int64(r.intn(1e6))
+			default:
+				t.Value = []tuple.Key{tuple.Key(r.next()), tuple.Key(r.next())}
+			}
+			b.Tuples = append(b.Tuples, t)
+		}
+		return &Message{Batch: b}
+	case 16:
+		return &Message{FlushReq: &Flush{Seq: r.next()}}
+	case 17:
+		return &Message{Bye: &Shutdown{Reason: map[int]string{0: "", 1: "done"}[r.intn(2)]}}
+	default:
+		st := &Stats{Worker: map[int]string{0: "", 1: "w1"}[r.intn(2)]}
+		for i := 0; i < n%8; i++ {
+			st.Conns = append(st.Conns, ConnStat{
+				Name: "conn", Sent: int64(r.next() % 1e9), Rcvd: int64(r.next() % 1e9),
+			})
+		}
+		return &Message{ConnStats: st}
 	}
 }
 
@@ -132,7 +249,7 @@ func buildMessage(seed uint64, kind, n int) *Message {
 // single-entry and many-entry sizes (empty routing tables, multi-entry
 // Moved sets, delta reports with empty change sets included).
 func FuzzCodecRoundTrip(f *testing.F) {
-	for kind := 0; kind < 8; kind++ {
+	for kind := 0; kind < 19; kind++ {
 		for _, n := range []int{0, 1, 17} {
 			f.Add(uint64(kind*31+n), kind, n)
 		}
@@ -142,41 +259,110 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			n = -n
 		}
 		n %= 1 << 12
-		orig := buildMessage(seed, kind, n)
+		for name, mk := range map[string]func(io.ReadWriter) *Codec{
+			"plain":  func(rw io.ReadWriter) *Codec { return NewCodec(rw) },
+			"framed": NewFramedCodec,
+		} {
+			orig := buildMessage(seed, kind, n)
 
-		var buf bytes.Buffer
-		c := NewCodec(&buf)
-		if err := c.Send(orig); err != nil {
-			t.Fatalf("send %s: %v", orig.Kind(), err)
-		}
-		got, err := c.Recv()
-		if err != nil {
-			t.Fatalf("recv %s: %v", orig.Kind(), err)
-		}
-		if got.Kind() != orig.Kind() {
-			t.Fatalf("kind %s decoded as %s", orig.Kind(), got.Kind())
-		}
-		// Gob does not distinguish nil from empty slices; normalize
-		// before the exact comparison.
-		if !reflect.DeepEqual(normalize(orig), normalize(got)) {
-			t.Fatalf("round trip altered the message:\n sent %#v\n got  %#v", orig, got)
-		}
+			var buf bytes.Buffer
+			c := mk(&buf)
+			if err := c.Send(orig); err != nil {
+				t.Fatalf("%s send %s: %v", name, orig.Kind(), err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("%s recv %s: %v", name, orig.Kind(), err)
+			}
+			if got.Kind() != orig.Kind() {
+				t.Fatalf("%s: kind %s decoded as %s", name, orig.Kind(), got.Kind())
+			}
+			// Gob does not distinguish nil from empty slices; normalize
+			// before the exact comparison.
+			if !reflect.DeepEqual(normalize(orig), normalize(got)) {
+				t.Fatalf("%s round trip altered the message:\n sent %#v\n got  %#v", name, orig, got)
+			}
 
-		// A second message on the same stream must also survive (gob
-		// streams carry type state across values).
-		orig2 := buildMessage(seed^0xabcdef, kind+1, n/2+1)
-		if err := c.Send(orig2); err != nil {
-			t.Fatalf("second send: %v", err)
-		}
-		got2, err := c.Recv()
-		if err != nil {
-			t.Fatalf("second recv: %v", err)
-		}
-		if !reflect.DeepEqual(normalize(orig2), normalize(got2)) {
-			t.Fatalf("second round trip altered the message:\n sent %#v\n got  %#v", orig2, got2)
+			// A second message on the same stream must also survive (gob
+			// streams carry type state across values).
+			orig2 := buildMessage(seed^0xabcdef, kind+1, n/2+1)
+			if err := c.Send(orig2); err != nil {
+				t.Fatalf("%s second send: %v", name, err)
+			}
+			got2, err := c.Recv()
+			if err != nil {
+				t.Fatalf("%s second recv: %v", name, err)
+			}
+			if !reflect.DeepEqual(normalize(orig2), normalize(got2)) {
+				t.Fatalf("%s second round trip altered the message:\n sent %#v\n got  %#v", name, orig2, got2)
+			}
 		}
 	})
 }
+
+// FuzzFramedTruncation cuts a framed stream at an arbitrary byte
+// offset and replays the prefix: the reader must deliver only intact
+// messages (bit-identical to the originals) followed by either a clean
+// EOF (cut on a frame boundary) or a truncation error — never a
+// corrupt or phantom message. This is the short-read safety property
+// of the socket transport.
+func FuzzFramedTruncation(f *testing.F) {
+	for kind := 0; kind < 19; kind++ {
+		f.Add(uint64(kind*7+1), kind, 5, kind*13)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, kind, n, cut int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 10
+		var wire bytes.Buffer
+		sender := NewFramedCodec(&wire)
+		msgs := make([]*Message, 3)
+		for i := range msgs {
+			msgs[i] = buildMessage(seed+uint64(i), kind+i, n)
+			if err := sender.Send(msgs[i]); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		full := wire.Bytes()
+		if cut < 0 {
+			cut = -cut
+		}
+		cut %= len(full) + 1
+
+		rc := NewFramedCodec(readerOnly{bytes.NewReader(full[:cut])})
+		decoded := 0
+		for {
+			got, err := rc.Recv()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameTooLarge) {
+					// gob-level errors on a truncated tail are fine too;
+					// what must never happen is a silent wrong message.
+					_ = err
+				}
+				break
+			}
+			if decoded >= len(msgs) {
+				t.Fatalf("decoded %d messages from a %d-message stream", decoded+1, len(msgs))
+			}
+			if !reflect.DeepEqual(normalize(msgs[decoded]), normalize(got)) {
+				t.Fatalf("prefix cut at %d delivered a corrupt message %d:\n sent %#v\n got  %#v",
+					cut, decoded, msgs[decoded], got)
+			}
+			decoded++
+		}
+		if cut == len(full) && decoded != len(msgs) {
+			t.Fatalf("full stream decoded only %d of %d messages", decoded, len(msgs))
+		}
+	})
+}
+
+// readerOnly hides any Write method so NewFramedCodec's writer half is
+// inert in replay tests.
+type readerOnly struct{ r io.Reader }
+
+func (ro readerOnly) Read(p []byte) (int, error)  { return ro.r.Read(p) }
+func (ro readerOnly) Write(p []byte) (int, error) { return len(p), nil }
 
 // normalize maps nil slices to empty ones so gob's nil/empty collapse
 // does not fail the exact comparison.
@@ -221,6 +407,36 @@ func normalize(m *Message) *Message {
 			s.Payload = []byte{}
 		}
 		c.State = &s
+	}
+	if c.Harvested != nil {
+		h := *c.Harvested
+		if h.ArrivedCost == nil {
+			h.ArrivedCost = []int64{}
+		}
+		if h.ArrivedTuples == nil {
+			h.ArrivedTuples = []int64{}
+		}
+		if h.MigPenalty == nil {
+			h.MigPenalty = []int64{}
+		}
+		if h.Resizes == nil {
+			h.Resizes = []int{}
+		}
+		c.Harvested = &h
+	}
+	if c.Batch != nil {
+		b := *c.Batch
+		if b.Tuples == nil {
+			b.Tuples = []tuple.Tuple{}
+		}
+		c.Batch = &b
+	}
+	if c.ConnStats != nil {
+		s := *c.ConnStats
+		if s.Conns == nil {
+			s.Conns = []ConnStat{}
+		}
+		c.ConnStats = &s
 	}
 	return &c
 }

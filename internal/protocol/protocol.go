@@ -181,6 +181,146 @@ type Resync struct {
 	Interval int64
 }
 
+// Hello opens every cluster connection: the dialing side identifies
+// itself and its intent before any other traffic. Role is "worker"
+// (a worker process registering with the coordinator; DataAddr names
+// the address its data-plane listener accepts tuple batches on),
+// "control" (a per-stage control-loop connection; Stage identifies
+// which), or "data" (a data-plane batch stream into Stage).
+type Hello struct {
+	Proto    int
+	Role     string
+	Worker   string
+	Stage    int
+	DataAddr string
+}
+
+// Welcome answers a Hello: the accepting side confirms the protocol
+// version and assigns the connection an id (for workers, their
+// registration index).
+type Welcome struct {
+	Proto int
+	ID    int
+}
+
+// StageAssign places one pipeline stage on a worker: everything the
+// worker needs to build the stage locally — operator (by registered
+// name), instance count, window, routing algorithm, capacity — plus
+// the data-plane address of the downstream stage's host (empty for the
+// last stage, whose emissions are discarded after the terminal
+// operator runs).
+type StageAssign struct {
+	Stage      int
+	Name       string
+	Op         string
+	Instances  int
+	Window     int
+	Algorithm  string
+	Capacity   int64
+	Budget     int64
+	Harvest    int
+	PauseFree  bool
+	StateWire  bool
+	// Control tells the worker to dial a per-stage control connection
+	// back to the coordinator (set when the stage has coordinator-side
+	// policies; planner-less stages skip the control plane entirely).
+	Control    bool
+	Downstream string
+	DownStage  int
+}
+
+// StartInterval opens interval Interval on every stage a worker hosts.
+// Emit carries the coordinator's post-throttle emission decision so
+// workers stamp the same Emitted into their load reports as a
+// single-process run would.
+type StartInterval struct {
+	Interval int64
+	Emit     int64
+}
+
+// CloseStage asks the worker hosting Stage to close its interval
+// (fold splits, flush operators, drain residual emissions downstream).
+// The worker flushes its downstream data connection before acking, so
+// acks arriving in pipeline order guarantee every tuple of the
+// interval has been enqueued at its destination — the cascading
+// CloseInterval of the single-process engine, spelled over the wire.
+type CloseStage struct {
+	Stage int
+}
+
+// HarvestReq asks the worker hosting Stage to end the interval:
+// harvest statistics, run the stage's control round against the
+// coordinator (over the stage's control connection), and answer with
+// HarvestDone. Emit is the interval's true post-draw emission — it can
+// be lower than StartInterval.Emit when a finite source ended
+// mid-interval — so the round's load reports carry the exact Emitted a
+// single-process run would.
+type HarvestReq struct {
+	Stage    int
+	Interval int64
+	Emit     int64
+}
+
+// HarvestDone closes a stage's interval from the worker side: the
+// arrival accounting and migration penalties the coordinator's
+// queueing model consumes, the control round's outcome (rebalance /
+// resize metadata for the metrics row), and the cumulative processed
+// tuple count for zero-loss accounting. Resizes lists the round's
+// applied instance-count deltas in order (+1/−1) so the coordinator
+// replays the same backlog array surgery the engine performs.
+type HarvestDone struct {
+	Stage         int
+	Interval      int64
+	ArrivedCost   []int64
+	ArrivedTuples []int64
+	MigPenalty    []int64
+	Resizes       []int
+	Instances     int
+	LiveState     int64
+	Rebalanced    bool
+	PlanMs        float64
+	TableSize     int
+	Moved         int64
+	ScaledOut     int
+	ScaledIn      int
+	Processed     int64
+}
+
+// TupleBatch is the data plane: one FeedBatch-sized slice of tuples
+// streaming into a remote stage.
+type TupleBatch struct {
+	Tuples []tuple.Tuple
+}
+
+// Flush is the data-plane barrier: the sender stamps a sequence
+// number, the receiver enqueues everything received before it and
+// echoes the same message back. A returned Flush therefore proves
+// every prior TupleBatch on the connection has been fed to the stage.
+type Flush struct {
+	Seq uint64
+}
+
+// Shutdown ends a session cleanly: the worker stops its engines,
+// answers with its connection Stats, and exits.
+type Shutdown struct {
+	Reason string
+}
+
+// ConnStat is one connection's byte counters, by name.
+type ConnStat struct {
+	Name string
+	Sent int64
+	Rcvd int64
+}
+
+// Stats reports a worker's per-connection byte counters at shutdown,
+// so the coordinator can print the full cluster's control- and
+// data-plane bandwidth table.
+type Stats struct {
+	Worker string
+	Conns  []ConnStat
+}
+
 // Message is the envelope union; exactly one field is non-nil.
 type Message struct {
 	Report    *LoadReport
@@ -191,6 +331,20 @@ type Message struct {
 	Ack       *Ack
 	Resume    *Resume
 	ResyncReq *Resync
+
+	// Cluster session messages (handshake, placement, interval drive,
+	// data plane) — spoken only by internal/cluster's socket transport.
+	Hello     *Hello
+	Welcome   *Welcome
+	Assign    *StageAssign
+	Start     *StartInterval
+	Close     *CloseStage
+	Harvest   *HarvestReq
+	Harvested *HarvestDone
+	Batch     *TupleBatch
+	FlushReq  *Flush
+	Bye       *Shutdown
+	ConnStats *Stats
 }
 
 // Kind names the populated variant, for logging and dispatch.
@@ -212,6 +366,28 @@ func (m *Message) Kind() string {
 		return "resume"
 	case m.ResyncReq != nil:
 		return "resync"
+	case m.Hello != nil:
+		return "hello"
+	case m.Welcome != nil:
+		return "welcome"
+	case m.Assign != nil:
+		return "assign"
+	case m.Start != nil:
+		return "start"
+	case m.Close != nil:
+		return "close"
+	case m.Harvest != nil:
+		return "harvest"
+	case m.Harvested != nil:
+		return "harvested"
+	case m.Batch != nil:
+		return "batch"
+	case m.FlushReq != nil:
+		return "flush"
+	case m.Bye != nil:
+		return "shutdown"
+	case m.ConnStats != nil:
+		return "stats"
 	default:
 		return "empty"
 	}
