@@ -40,11 +40,14 @@ bench-multistage:
 	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage
 
 ## bench-cluster: the dataplane report plus the distributed-runtime
-## benchmark — the multistage 2-stage shape hosted on two cluster
-## workers, every hop over a real socket, one point per transport
-## (cluster_interval_tcp / cluster_interval_unix in the report). Read
-## against multistage_interval: the delta is gob serialization plus
-## the kernel's socket path.
+## sweep — the multistage 2-stage shape hosted on two cluster workers,
+## every hop over a real socket. Per transport (tcp, unix) the sweep
+## measures the gob oracle and the binary wire at each coalescing
+## budget (off / 4KB / 32KB), recording tuples/sec, bytes/tuple and
+## allocs/msg per point (cluster_sweep in the report; the binary/32KB
+## default also lands under cluster_interval_{tcp,unix}). Read against
+## multistage_interval: the remaining delta is serialization plus the
+## kernel's socket path.
 bench-cluster:
 	$(GO) run ./cmd/benchrunner -dataplane BENCH_dataplane.json -feeders $(FEEDERS) -multistage -cluster
 

@@ -185,11 +185,37 @@ type dataplaneReport struct {
 	// with hot-key splitting off and on, so the report records where
 	// per-key replication starts to pay on this host.
 	Sweep []sweepPoint `json:"hotkey_sweep,omitempty"`
+	// Cluster holds the distributed-runtime sweep (-cluster): per
+	// transport, the gob oracle plus the binary wire at each coalescing
+	// budget (off / 4KB / 32KB), with wire-efficiency columns next to
+	// the throughput. cluster_interval_{tcp,unix} in TuplesPerSec mirror
+	// the binary/32KB points (the default configuration), keeping the
+	// scalar trajectory keys comparable across schema versions.
+	Cluster []clusterPoint `json:"cluster_sweep,omitempty"`
 	// HarvestSweep holds the tracked-key population sweep (-keys): each
 	// population measured through interval close plus one wire control
 	// round with a 1k working set, full harvest vs incremental — the
 	// O(keys)-vs-O(Δkeys) control-cost comparison.
 	HarvestSweep []harvestPoint `json:"harvest_sweep,omitempty"`
+}
+
+// clusterPoint is one distributed-runtime measurement: the 2-stage
+// forwarding topology on two workers over one transport, with the wire
+// codec and coalescing budget pinned. BytesPerTuple is total codec
+// payload sent across every connection (both directions of the control
+// plane included) divided by spout tuples emitted — each spout tuple
+// crosses two data hops, so this is the whole-cluster wire cost of one
+// tuple, not one hop's. AllocsPerMsg divides the timed run's heap
+// allocations (whole process: engines, spout and codecs together) by
+// the wire messages sent; coalesced frames count as one message, which
+// is exactly why the column moves with the budget.
+type clusterPoint struct {
+	Network       string  `json:"network"`
+	Wire          string  `json:"wire"`     // "gob" | "binary"
+	Coalesce      string  `json:"coalesce"` // "off" | "4KB" | "32KB"
+	TuplesPerSec  float64 `json:"tuples_per_sec"`
+	BytesPerTuple float64 `json:"bytes_per_tuple"`
+	AllocsPerMsg  float64 `json:"allocs_per_msg"`
 }
 
 // harvestPoint is one (population, harvest mode) measurement: mean
@@ -358,7 +384,7 @@ func writeDataplaneReport(path string, feeders int, multistage, clusterB bool, m
 		return err
 	}
 	report := dataplaneReport{
-		Schema:        "dataplane-v6",
+		Schema:        "dataplane-v7",
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		Feeders:       feeders,
@@ -607,17 +633,40 @@ func writeDataplaneReport(path string, feeders int, multistage, clusterB bool, m
 	// The distributed runtime on the same 2-stage shape: both stages
 	// hosted by cluster workers (in-process here, but every hop — spout
 	// feed, inter-stage transfer, control drive — crosses a real
-	// socket), one measurement per transport. Spout tuples/sec again,
-	// so the points read directly against multistage_interval: the
-	// delta is serialization plus the kernel's socket path.
+	// socket). Spout tuples/sec again, so the points read directly
+	// against multistage_interval: the delta is serialization plus the
+	// kernel's socket path. Each transport is swept across the wire
+	// configurations — the gob oracle (always one frame per chunk),
+	// then the binary codec with coalescing off, at a 4KB budget, and
+	// at the 32KB default — so the report separates what the codec buys
+	// from what batching the syscalls buys. The binary/32KB point also
+	// lands in TuplesPerSec under the v6 scalar keys, keeping the
+	// old-vs-new trajectory readable across the schema change.
 	if clusterB {
 		registerBenchOps()
+		wireCfgs := []struct {
+			wire     string
+			coalesce int
+			label    string
+		}{
+			{"gob", -1, "off"},
+			{"binary", -1, "off"},
+			{"binary", 4 << 10, "4KB"},
+			{"binary", 32 << 10, "32KB"},
+		}
 		for _, network := range []string{"tcp", "unix"} {
-			rate, err := clusterRate(network, msBudget)
-			if err != nil {
-				return fmt.Errorf("cluster bench (%s): %w", network, err)
+			for _, cf := range wireCfgs {
+				pt, err := clusterRate(network, msBudget, cf.wire == "gob", cf.coalesce)
+				if err != nil {
+					return fmt.Errorf("cluster bench (%s, wire=%s, coalesce=%s): %w",
+						network, cf.wire, cf.label, err)
+				}
+				pt.Network, pt.Wire, pt.Coalesce = network, cf.wire, cf.label
+				report.Cluster = append(report.Cluster, pt)
+				if cf.wire == "binary" && cf.label == "32KB" {
+					report.TuplesPerSec["cluster_interval_"+network] = pt.TuplesPerSec
+				}
 			}
-			report.TuplesPerSec["cluster_interval_"+network] = rate
 		}
 	}
 
@@ -709,6 +758,21 @@ func writeDataplaneReport(path string, feeders int, multistage, clusterB bool, m
 		}
 		fmt.Println(line)
 	}
+	for _, pt := range report.Cluster {
+		line := fmt.Sprintf("  cluster %-4s wire=%-6s coalesce=%-4s %11.0f tuples/sec  %5.1f B/tuple  %6.1f allocs/msg",
+			pt.Network, pt.Wire, pt.Coalesce, pt.TuplesPerSec, pt.BytesPerTuple, pt.AllocsPerMsg)
+		if comparable {
+			for _, old := range baseline.Cluster {
+				if old.Network == pt.Network && old.Wire == pt.Wire &&
+					old.Coalesce == pt.Coalesce && old.TuplesPerSec > 0 {
+					line += fmt.Sprintf("  (was %.0f, %+.1f%%)",
+						old.TuplesPerSec, 100*(pt.TuplesPerSec-old.TuplesPerSec)/old.TuplesPerSec)
+					break
+				}
+			}
+		}
+		fmt.Println(line)
+	}
 	return nil
 }
 
@@ -733,23 +797,37 @@ func registerBenchOps() {
 
 // clusterRate measures end-to-end spout tuples/sec of the 2-stage
 // forwarding topology hosted on two cluster workers over one
-// transport. The workers run in-process (goroutines, not exec) so the
-// measurement isolates the wire cost — gob serialization plus the
-// socket round trips of the interval drive — without process spawn
-// noise; the bytes still cross real kernel sockets.
-func clusterRate(network string, msBudget int64) (float64, error) {
+// transport, with the wire codec (gobWire pins the oracle) and the
+// frame-coalescing budget fixed for the run. The workers run
+// in-process (goroutines, not exec) so the measurement isolates the
+// wire cost — serialization plus the socket round trips of the
+// interval drive — without process spawn noise; the bytes still cross
+// real kernel sockets.
+//
+// Wire-efficiency columns come from the shutdown Stats: bytes and
+// messages are whole-session totals (two warm-up intervals and the
+// handshake included — a few percent against a timed run hundreds of
+// intervals long), while the allocation count covers exactly the timed
+// region, so allocs/msg slightly understates steady state rather than
+// crediting warm-up.
+func clusterRate(network string, msBudget int64, gobWire bool, coalesce int) (clusterPoint, error) {
 	const nWorkers = 2
-	var emittedTotal int64
+	cluster.SetWireGob(gobWire)
+	defer cluster.SetWireGob(false)
+	var pt clusterPoint
+	var emittedTotal, sentBytes, sentMsgs int64
 	var benchErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		if benchErr != nil {
 			return
 		}
+		b.ReportAllocs()
 		gen := workload.NewZipfStream(10000, 0.85, 0, msBudget, 17)
 		spec := &cluster.Spec{
-			Name:   "bench-cluster",
-			Budget: msBudget,
-			SpoutB: gen.NextBatch,
+			Name:     "bench-cluster",
+			Budget:   msBudget,
+			SpoutB:   gen.NextBatch,
+			Coalesce: coalesce,
 			Stages: []cluster.StageSpec{
 				{Name: "ms-map", Op: "bench/fwd", Instances: 8},
 				{Name: "ms-sink", Op: "bench/sink", Instances: 8},
@@ -806,8 +884,19 @@ func clusterRate(network string, msBudget int64) (float64, error) {
 		for _, m := range c.Recorder().Series {
 			emittedTotal += m.Emitted
 		}
-		if _, err := c.Shutdown(); err != nil {
+		stats, err := c.Shutdown()
+		if err != nil {
 			benchErr = err
+		}
+		// Sum the sent side of every connection in the cluster: each
+		// payload byte is sent exactly once, so this is the total wire
+		// traffic without double-counting the receive mirrors.
+		sentBytes, sentMsgs = 0, 0
+		for _, s := range stats {
+			for _, cs := range s.Conns {
+				sentBytes += cs.Sent
+				sentMsgs += cs.SentMsgs
+			}
 		}
 		for i := 0; i < nWorkers; i++ {
 			if err := <-errs; err != nil && benchErr == nil {
@@ -816,7 +905,14 @@ func clusterRate(network string, msBudget int64) (float64, error) {
 		}
 	})
 	if benchErr != nil {
-		return 0, benchErr
+		return clusterPoint{}, benchErr
 	}
-	return float64(emittedTotal) / r.T.Seconds(), nil
+	pt.TuplesPerSec = float64(emittedTotal) / r.T.Seconds()
+	if emittedTotal > 0 {
+		pt.BytesPerTuple = float64(sentBytes) / float64(emittedTotal)
+	}
+	if sentMsgs > 0 {
+		pt.AllocsPerMsg = float64(r.MemAllocs) / float64(sentMsgs)
+	}
+	return pt, nil
 }

@@ -8,53 +8,138 @@ import (
 	"repro/internal/tuple"
 )
 
+// DefCoalesce is the default frame-coalescing byte budget: FeedBatch
+// chunks accumulate into one wire frame until the frame would exceed
+// this many bytes, then the frame ships. 32 KiB keeps frames well under
+// typical socket buffer sizes while amortizing the per-frame syscall
+// across dozens of steady-state chunks.
+const DefCoalesce = 32 << 10
+
+// chunkPool recycles per-call encode scratch so concurrent FeedBatch
+// callers serialize only the socket write, never the encoding.
+var chunkPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // BatchConn is the data plane: an engine.BatchSink streaming tuple
-// batches over a cluster connection into a remote stage. One TupleBatch
-// message carries exactly one FeedBatch call — the receiver feeds each
-// message as a single batch, so chunk boundaries (and with them
-// round-robin shuffle routing and arrival accounting) are preserved
-// bit-for-bit across the process boundary.
+// batches over a cluster connection into a remote stage. Chunk
+// boundaries — one per FeedBatch call — are preserved on the wire, so
+// the receiver replays the exact same FeedBatch sequence and
+// round-robin shuffle routing plus arrival accounting stay bit-for-bit
+// identical across the process boundary.
 //
-// FeedBatch tolerates concurrent callers (upstream task goroutines and
-// spout feeders flush into the same edge), serialized by an internal
-// mutex. Errors latch: the first send failure poisons the connection
-// and every later call becomes a no-op, surfaced at the next Flush —
-// the data plane has no mid-interval recovery story, only clean
-// teardown at the barrier.
+// On a binary-wire connection each chunk is encoded OUTSIDE the mutex
+// into pooled scratch (protocol.AppendBatchChunk touches no shared
+// state), then appended under the lock to a pending coalesced frame:
+// multiple chunks aggregate into one wire frame up to the coalescing
+// byte budget, force-flushed at the interval barrier by Flush. Only the
+// append-and-maybe-write is serialized, so upstream task goroutines
+// fanning into one edge no longer convoy behind each other's gob
+// reflection walk. Sub-batch length prefixes inside the frame keep the
+// chunk sequence intact.
+//
+// On a gob connection (the selectable equivalence oracle, and the
+// fallback for old peers) the PR 9 behavior is kept verbatim: one
+// TupleBatch message per FeedBatch call, encoded under the mutex — the
+// gob encoder is stateful (it streams type descriptors once), so its
+// encode cannot leave the lock.
+//
+// Errors latch: the first failure poisons the connection and every
+// later call becomes a no-op, surfaced at the next Flush — the data
+// plane has no mid-interval recovery story, only clean teardown at the
+// barrier.
 type BatchConn struct {
-	c   *Conn
-	mu  sync.Mutex
-	seq uint64
-	err error
+	c       *Conn
+	mu      sync.Mutex
+	seq     uint64
+	err     error
+	budget  int    // coalescing byte budget; 0 = ship every chunk immediately
+	pending []byte // coalesced binary frame under construction
+	nsub    int    // chunks in pending
 }
 
-// NewBatchConn wraps an established data connection.
-func NewBatchConn(c *Conn) *BatchConn { return &BatchConn{c: c} }
+// NewBatchConn wraps an established data connection. coalesce is the
+// coalescing byte budget: 0 picks DefCoalesce, negative disables
+// coalescing (every FeedBatch ships its own frame, the PR 9 wire
+// cadence). The budget only applies on binary-wire connections; the gob
+// oracle always ships per chunk.
+func NewBatchConn(c *Conn, coalesce int) *BatchConn {
+	switch {
+	case coalesce == 0:
+		coalesce = DefCoalesce
+	case coalesce < 0:
+		coalesce = 0
+	}
+	return &BatchConn{c: c, budget: coalesce}
+}
 
 // FeedBatch sends one batch downstream. The tuples are fully encoded
-// before return, so the caller's slice is immediately reusable —
-// the same contract engine.Stage.FeedBatch gives its callers.
+// before return, so the caller's slice is immediately reusable — the
+// same contract engine.Stage.FeedBatch gives its callers. Tolerates
+// concurrent callers (upstream task goroutines and spout feeders flush
+// into the same edge).
 func (b *BatchConn) FeedBatch(ts []tuple.Tuple) {
 	if len(ts) == 0 {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.err != nil {
+	if !b.c.Binary() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.err != nil {
+			return
+		}
+		b.err = b.c.Send(&protocol.Message{Batch: &protocol.TupleBatch{Tuples: ts}})
 		return
 	}
-	b.err = b.c.Send(&protocol.Message{Batch: &protocol.TupleBatch{Tuples: ts}})
+	sp := chunkPool.Get().(*[]byte)
+	chunk, encErr := protocol.AppendBatchChunk((*sp)[:0], ts)
+	if encErr == nil {
+		*sp = chunk[:0]
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		if encErr != nil {
+			b.err = encErr
+		} else {
+			if b.nsub == 0 {
+				b.pending = protocol.AppendBatchHeader(b.pending[:0])
+			}
+			b.pending = append(b.pending, chunk...)
+			b.nsub++
+			if b.budget == 0 || len(b.pending) >= b.budget {
+				b.flushPendingLocked()
+			}
+		}
+	}
+	b.mu.Unlock()
+	if encErr == nil {
+		chunkPool.Put(sp)
+	}
 }
 
-// Flush is the delivery barrier: it sends a sequenced Flush message
-// and blocks until the receiver echoes it. The receiver enqueues
-// batches in receipt order before answering, and the transport is
-// FIFO, so a returned Flush proves every prior FeedBatch on this
-// connection has been fed into the remote stage's task queues — the
-// moment the in-process cascading close reaches between stages.
+// flushPendingLocked seals and ships the coalesced frame under
+// construction. Caller holds mu.
+func (b *BatchConn) flushPendingLocked() {
+	if b.nsub == 0 || b.err != nil {
+		return
+	}
+	protocol.PatchBatchHeader(b.pending, b.nsub)
+	if err := b.c.SendFrame(b.pending); err != nil {
+		b.err = err
+	}
+	b.pending = b.pending[:0]
+	b.nsub = 0
+}
+
+// Flush is the delivery barrier: it force-ships any pending coalesced
+// frame, sends a sequenced Flush message, and blocks until the receiver
+// echoes it. The receiver enqueues batches in receipt order before
+// answering, and the transport is FIFO, so a returned Flush proves
+// every prior FeedBatch on this connection has been fed into the remote
+// stage's task queues — the moment the in-process cascading close
+// reaches between stages.
 func (b *BatchConn) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.flushPendingLocked()
 	if b.err != nil {
 		return b.err
 	}

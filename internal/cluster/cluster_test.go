@@ -61,6 +61,7 @@ type distributedRun struct {
 	stores     []storeSnap
 	processed  []int64
 	stats      []string // byte-table connection names
+	binaryWire bool     // what the spout edge actually negotiated
 }
 
 type storeSnap struct {
@@ -72,9 +73,12 @@ type storeSnap struct {
 // sockets, deploys the socialpipe spec, drives testIntervals
 // intervals and captures every observable the equivalence is pinned
 // on.
-func runDistributed(t *testing.T, network string, nWorkers int) *distributedRun {
+func runDistributed(t *testing.T, network string, nWorkers int, mutate ...func(*Spec)) *distributedRun {
 	t.Helper()
 	spec := testSpec(t)
+	for _, m := range mutate {
+		m(spec)
+	}
 	addr := "127.0.0.1:0"
 	if network == "unix" {
 		addr = filepath.Join(t.TempDir(), "coord.sock")
@@ -115,7 +119,7 @@ func runDistributed(t *testing.T, network string, nWorkers int) *distributedRun 
 	}
 
 	// Capture worker-side state while the stages are still alive.
-	r := &distributedRun{rebalances: c.Rebalances()}
+	r := &distributedRun{rebalances: c.Rebalances(), binaryWire: c.spout.c.Binary()}
 	r.series = append(r.series, c.Recorder().Series...)
 	countStage := workers[c.Placement()[1]].Stage(1)
 	if countStage == nil {
@@ -302,6 +306,42 @@ func TestDistributedMatchesLocal(t *testing.T) {
 			dist := runDistributed(t, network, 3)
 			assertNonVacuous(t, dist)
 			compareRuns(t, network, dist, local)
+		})
+	}
+}
+
+// TestCrossCodecEquivalence is the cross-codec pin: the same run over
+// the binary wire (coalescing off, 4 KB, and the default budget) and
+// over the framed gob oracle produces bit-identical series, snapshots,
+// routing tables and stores — all equal to the in-process reference.
+// Each run asserts which codec the connections actually negotiated, so
+// the matrix cannot silently collapse onto one wire.
+func TestCrossCodecEquivalence(t *testing.T) {
+	local := runLocal(t)
+	assertNonVacuous(t, local)
+
+	t.Run("gob-oracle", func(t *testing.T) {
+		SetWireGob(true)
+		t.Cleanup(func() { SetWireGob(false) })
+		dist := runDistributed(t, "unix", 2)
+		if dist.binaryWire {
+			t.Fatal("gob oracle run negotiated the binary wire")
+		}
+		assertNonVacuous(t, dist)
+		compareRuns(t, "gob-oracle", dist, local)
+	})
+
+	for _, co := range []struct {
+		name     string
+		coalesce int
+	}{{"coalesce-off", -1}, {"coalesce-4k", 4 << 10}} {
+		t.Run(co.name, func(t *testing.T) {
+			dist := runDistributed(t, "unix", 2, func(s *Spec) { s.Coalesce = co.coalesce })
+			if !dist.binaryWire {
+				t.Fatal("binary wire not negotiated")
+			}
+			assertNonVacuous(t, dist)
+			compareRuns(t, co.name, dist, local)
 		})
 	}
 }

@@ -184,6 +184,7 @@ func (c *Coordinator) Deploy(nWorkers int) error {
 			PauseFree: true,
 			StateWire: true,
 			Control:   len(c.policies[si]) > 0,
+			Coalesce:  c.spec.Coalesce,
 		}
 		if si+1 < len(stages) {
 			a.Downstream = workers[c.placement[si+1]].dataAddr
@@ -203,7 +204,7 @@ func (c *Coordinator) Deploy(nWorkers int) error {
 		return fmt.Errorf("cluster: dial spout data plane: %w", err)
 	}
 	sc.SetName("data spout→s0")
-	c.spout = NewBatchConn(sc)
+	c.spout = NewBatchConn(sc, c.spec.Coalesce)
 	c.em = engine.NewEmitter(c.spout, c.spec.SpoutB, nil, 1, false)
 
 	// The coordinator-side model state: per-stage capacity and backlog
@@ -444,15 +445,17 @@ func (c *Coordinator) Shutdown() ([]*protocol.Stats, error) {
 }
 
 // FormatStats renders the shutdown byte table: one line per
-// connection, grouped by owner, gob payload bytes in each direction.
+// connection, grouped by owner, codec payload bytes and wire messages
+// in each direction (a coalesced frame counts as one message).
 func FormatStats(all []*protocol.Stats) string {
 	var b []byte
 	appendf := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
-	appendf("connection bytes (gob payload, framing excluded):\n")
+	appendf("connection bytes (codec payload, framing excluded):\n")
 	for _, s := range all {
 		appendf("  %s:\n", s.Worker)
 		for _, cs := range s.Conns {
-			appendf("    %-26s sent %10d  rcvd %10d\n", cs.Name, cs.Sent, cs.Rcvd)
+			appendf("    %-26s sent %10d (%7d msgs)  rcvd %10d (%7d msgs)\n",
+				cs.Name, cs.Sent, cs.SentMsgs, cs.Rcvd, cs.RcvdMsgs)
 		}
 	}
 	return string(b)

@@ -13,9 +13,16 @@
 // stage count yields a valid cluster and the placement needs no
 // negotiation protocol.
 //
-// Three connection kinds tie the processes together, all speaking
-// length-framed gob (protocol.NewFramedCodec) over TCP or unix sockets
-// and opening with a Hello/Welcome handshake:
+// Three connection kinds tie the processes together, all built on the
+// length-framed protocol.NewFramedCodec over TCP or unix sockets and
+// opening with a Hello/Welcome handshake. The handshake itself always
+// speaks gob; feature bits in it negotiate the wire for everything
+// after — by default both sides hold FeatureBinary and switch to the
+// hand-rolled binary codec (zero-reflection encoding for batches,
+// flushes, the interval drive and the control round, plus FeedBatch
+// frame coalescing up to Spec.Coalesce bytes on data edges), while old
+// peers, or processes pinned with SetWireGob / REPRO_WIRE=gob /
+// -wire gob, fall back to the framed gob oracle:
 //
 //   - the worker session (one per worker, dialed at startup): stage
 //     assignments, interval StartInterval/CloseStage/HarvestReq drive,
@@ -38,6 +45,9 @@
 // coordinator runs engine.ThrottleBudget and engine.StepModel over
 // shipped arrival accounting, the emission plane is the same
 // engine.Emitter (so chunk boundaries, and hence shuffle routing, are
-// preserved), and one TupleBatch message carries exactly one FeedBatch
-// call.
+// preserved), and every FeedBatch call's chunk boundary survives the
+// wire — as its own TupleBatch message on the gob oracle, as a
+// length-prefixed sub-batch inside a coalesced binary frame otherwise
+// — so the receiver replays the exact same FeedBatch sequence either
+// way.
 package cluster

@@ -54,6 +54,12 @@ type Spec struct {
 	// throttle and queueing model; zero values take engine.DefaultConfig.
 	MaxPendingFactor float64
 	MigrationFactor  float64
+	// Coalesce is the data-plane frame-coalescing byte budget, applied
+	// to every edge (spout→s0 and each inter-stage connection): 0 takes
+	// DefCoalesce, negative disables coalescing (one wire frame per
+	// FeedBatch chunk — the PR 9 cadence). Only effective on
+	// binary-wire connections; the gob oracle always ships per chunk.
+	Coalesce int
 }
 
 // resolve normalizes the spec in place to the same defaults the

@@ -4,7 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -14,6 +16,54 @@ import (
 // Proto is the cluster session protocol version, validated on both
 // sides of every Hello/Welcome handshake.
 const Proto = 1
+
+// Feature bits, advertised in Hello.Features and granted (as a subset)
+// in Welcome.Features. The handshake itself always speaks gob, so a
+// peer that predates a feature simply never offers or grants its bit
+// and the connection falls back cleanly.
+const (
+	// FeatureBinary switches the connection to the hand-rolled binary
+	// wire (internal/protocol's kind-dispatched frames) immediately
+	// after the Welcome. Both sides must hold the bit: the dialer
+	// offers it, the accepter grants it back.
+	FeatureBinary uint32 = 1 << 0
+)
+
+// knownFeatures is every bit this build understands. A Hello carrying
+// bits outside this set is from a newer or corrupt peer; the accepter
+// rejects it with a clean error rather than guessing.
+const knownFeatures = FeatureBinary
+
+// wireGob, when set, stops this process from offering or granting
+// FeatureBinary: every connection speaks the framed gob wire end to
+// end. It is the equivalence oracle knob — the same role the pausing
+// migration path and store-and-forward play — selectable per process
+// via SetWireGob, the REPRO_WIRE=gob environment variable, or the
+// -wire flag on cmd/worker and cmd/coordinator.
+var wireGob atomic.Bool
+
+func init() {
+	if os.Getenv("REPRO_WIRE") == "gob" {
+		wireGob.Store(true)
+	}
+}
+
+// SetWireGob selects the wire codec for connections this process opens
+// or accepts from now on: true pins the framed gob oracle, false
+// (default) negotiates the binary wire.
+func SetWireGob(v bool) { wireGob.Store(v) }
+
+// WireGob reports whether the gob oracle is pinned.
+func WireGob() bool { return wireGob.Load() }
+
+// offeredFeatures returns the feature bits this process advertises and
+// is willing to grant.
+func offeredFeatures() uint32 {
+	if wireGob.Load() {
+		return 0
+	}
+	return FeatureBinary
+}
 
 // handshakeTimeout bounds the Hello/Welcome exchange (and nothing
 // else: established connections block indefinitely — the interval
@@ -45,7 +95,15 @@ type Conn struct {
 	c    net.Conn
 	name string
 	once sync.Once
+	// offered holds the peer's Hello feature bits on an accepted
+	// connection, pending the Welcome; features holds the negotiated
+	// set once the handshake completes.
+	offered  uint32
+	features uint32
 }
+
+// Features returns the feature bits both sides agreed to.
+func (c *Conn) Features() uint32 { return c.features }
 
 // Name returns the label the connection reports byte counters under.
 func (c *Conn) Name() string { return c.name }
@@ -54,11 +112,17 @@ func (c *Conn) Name() string { return c.name }
 // itself in its Hello).
 func (c *Conn) SetName(n string) { c.name = n }
 
-// Stat returns the connection's byte counters for the shutdown table.
-// Counters count gob payload only — frame headers are excluded — so
-// they are directly comparable with the in-process wire transport's.
+// Stat returns the connection's byte and message counters for the
+// shutdown table. Byte counters count codec payload only — frame
+// headers are excluded — so they are directly comparable with the
+// in-process wire transport's; message counters count wire units
+// (coalesced frames count once).
 func (c *Conn) Stat() protocol.ConnStat {
-	return protocol.ConnStat{Name: c.name, Sent: c.SentBytes(), Rcvd: c.RecvBytes()}
+	return protocol.ConnStat{
+		Name: c.name,
+		Sent: c.SentBytes(), Rcvd: c.RecvBytes(),
+		SentMsgs: c.SentMsgs(), RcvdMsgs: c.RecvMsgs(),
+	}
 }
 
 // Close shuts the connection down cleanly: a best-effort zero-length
@@ -80,6 +144,7 @@ func (c *Conn) Close() error {
 func Dial(network, addr string, hello *protocol.Hello) (*Conn, *protocol.Welcome, error) {
 	h := *hello
 	h.Proto = Proto
+	h.Features = offeredFeatures()
 	nc, err := net.DialTimeout(network, addr, handshakeTimeout)
 	if err != nil {
 		return nil, nil, err
@@ -102,6 +167,14 @@ func Dial(network, addr string, hello *protocol.Hello) (*Conn, *protocol.Welcome
 	if m.Welcome.Proto != Proto {
 		nc.Close()
 		return nil, nil, fmt.Errorf("cluster: protocol version mismatch: ours %d, peer %d", Proto, m.Welcome.Proto)
+	}
+	if granted := m.Welcome.Features; granted&^h.Features != 0 {
+		nc.Close()
+		return nil, nil, fmt.Errorf("cluster: handshake: peer granted feature bits %#x we never offered (%#x)", granted, h.Features)
+	}
+	c.features = m.Welcome.Features
+	if c.features&FeatureBinary != 0 {
+		c.EnableBinary()
 	}
 	_ = nc.SetDeadline(time.Time{})
 	return c, m.Welcome, nil
@@ -157,6 +230,11 @@ func (l *Listener) Accept() (*Conn, *protocol.Hello, error) {
 		nc.Close()
 		return nil, nil, fmt.Errorf("cluster: protocol version mismatch: ours %d, peer %d", Proto, m.Hello.Proto)
 	}
+	if unknown := m.Hello.Features &^ knownFeatures; unknown != 0 {
+		nc.Close()
+		return nil, nil, fmt.Errorf("cluster: handshake: unknown feature bits %#x in hello (known %#x)", unknown, knownFeatures)
+	}
+	c.offered = m.Hello.Features
 	_ = nc.SetDeadline(time.Time{})
 	c.name = m.Hello.Role
 	return c, m.Hello, nil
@@ -164,7 +242,18 @@ func (l *Listener) Accept() (*Conn, *protocol.Hello, error) {
 
 // Welcome completes an accepted handshake, assigning the connection an
 // id (workers get their registration index; control and data
-// connections echo their stage).
+// connections echo their stage) and granting the intersection of the
+// peer's offered features with this process's own. The Welcome itself
+// still travels as gob; any granted codec switches on immediately
+// after, so both sides change modes at the same stream position.
 func (c *Conn) Welcome(id int) error {
-	return c.Send(&protocol.Message{Welcome: &protocol.Welcome{Proto: Proto, ID: id}})
+	granted := c.offered & offeredFeatures()
+	if err := c.Send(&protocol.Message{Welcome: &protocol.Welcome{Proto: Proto, ID: id, Features: granted}}); err != nil {
+		return err
+	}
+	c.features = granted
+	if granted&FeatureBinary != 0 {
+		c.EnableBinary()
+	}
+	return nil
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -79,6 +81,277 @@ func TestHandshake(t *testing.T) {
 				t.Fatalf("recv = %v, %v", m, err)
 			}
 		})
+	}
+}
+
+// TestHandshakeNegotiation is the codec negotiation matrix: two
+// current peers land on the binary wire; a peer with the gob knob set
+// (or an old peer that never offers the bit) falls back to gob on both
+// sides; corrupt feature bits are rejected with a clean error in
+// either direction.
+func TestHandshakeNegotiation(t *testing.T) {
+	pair := func(t *testing.T) (*Conn, *Conn) {
+		t.Helper()
+		ln, err := Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer ln.Close()
+		var dialed *Conn
+		var dialErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dialed, _, dialErr = Dial("tcp", ln.Addr(), &protocol.Hello{Role: "data"})
+		}()
+		sc, _, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("accept: %v", err)
+		}
+		if err := sc.Welcome(0); err != nil {
+			t.Fatalf("welcome: %v", err)
+		}
+		wg.Wait()
+		if dialErr != nil {
+			t.Fatalf("dial: %v", dialErr)
+		}
+		return dialed, sc
+	}
+
+	exchange := func(t *testing.T, a, b *Conn) {
+		t.Helper()
+		batch := &protocol.Message{Batch: &protocol.TupleBatch{Tuples: []tuple.Tuple{tuple.New(9, int64(1))}}}
+		if err := a.Send(batch); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		m, err := b.Recv()
+		if err != nil || m.Batch == nil || m.Batch.Tuples[0].Key != 9 {
+			t.Fatalf("recv = %v, %v", m, err)
+		}
+	}
+
+	t.Run("binary-binary", func(t *testing.T) {
+		a, b := pair(t)
+		defer a.Close()
+		defer b.Close()
+		if !a.Binary() || !b.Binary() {
+			t.Fatalf("binary not negotiated: dial=%v accept=%v", a.Binary(), b.Binary())
+		}
+		if a.Features() != FeatureBinary || b.Features() != FeatureBinary {
+			t.Fatalf("features: dial=%#x accept=%#x", a.Features(), b.Features())
+		}
+		exchange(t, a, b)
+		exchange(t, b, a)
+	})
+
+	t.Run("gob-knob", func(t *testing.T) {
+		SetWireGob(true)
+		t.Cleanup(func() { SetWireGob(false) })
+		a, b := pair(t)
+		defer a.Close()
+		defer b.Close()
+		if a.Binary() || b.Binary() || a.Features() != 0 || b.Features() != 0 {
+			t.Fatalf("gob knob ignored: dial=(%v,%#x) accept=(%v,%#x)",
+				a.Binary(), a.Features(), b.Binary(), b.Features())
+		}
+		exchange(t, a, b)
+		exchange(t, b, a)
+	})
+
+	t.Run("old-peer-gob-only", func(t *testing.T) {
+		// An old peer never sets feature bits in its Hello; the accepter
+		// must grant nothing and keep speaking framed gob both ways.
+		ln, err := Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer ln.Close()
+		done := make(chan error, 1)
+		go func() {
+			nc, err := net.Dial("tcp", ln.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer nc.Close()
+			codec := protocol.NewFramedCodec(nc)
+			if err := codec.Send(&protocol.Message{Hello: &protocol.Hello{Proto: Proto, Role: "data"}}); err != nil {
+				done <- err
+				return
+			}
+			m, err := codec.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Welcome == nil || m.Welcome.Features != 0 {
+				done <- fmt.Errorf("welcome = %+v, want zero features", m.Welcome)
+				return
+			}
+			// Speak gob after the handshake, both directions.
+			if err := codec.Send(&protocol.Message{FlushReq: &protocol.Flush{Seq: 5}}); err != nil {
+				done <- err
+				return
+			}
+			m, err = codec.Recv()
+			if err != nil || m.FlushReq == nil || m.FlushReq.Seq != 5 {
+				done <- fmt.Errorf("echo = %v, %v", m, err)
+				return
+			}
+			done <- nil
+		}()
+		sc, hello, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("accept: %v", err)
+		}
+		defer sc.Close()
+		if hello.Features != 0 {
+			t.Fatalf("old peer hello features = %#x", hello.Features)
+		}
+		if err := sc.Welcome(0); err != nil {
+			t.Fatalf("welcome: %v", err)
+		}
+		if sc.Binary() {
+			t.Fatal("accepter switched to binary against a gob-only peer")
+		}
+		m, err := sc.Recv()
+		if err != nil || m.FlushReq == nil {
+			t.Fatalf("recv = %v, %v", m, err)
+		}
+		if err := sc.Send(&protocol.Message{FlushReq: m.FlushReq}); err != nil {
+			t.Fatalf("echo: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("old peer: %v", err)
+		}
+	})
+
+	t.Run("corrupt-hello-bits", func(t *testing.T) {
+		ln, err := Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			nc, err := net.Dial("tcp", ln.Addr())
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+			codec := protocol.NewFramedCodec(nc)
+			_ = codec.Send(&protocol.Message{Hello: &protocol.Hello{Proto: Proto, Role: "data", Features: 0xff00}})
+			_, _ = codec.Recv()
+		}()
+		if _, _, err := ln.Accept(); err == nil {
+			t.Fatal("accept with unknown feature bits succeeded")
+		} else if !strings.Contains(err.Error(), "feature bits") {
+			t.Fatalf("error does not name the feature bits: %v", err)
+		}
+	})
+
+	t.Run("corrupt-welcome-bits", func(t *testing.T) {
+		// A broken accepter granting bits that were never offered must
+		// fail the dial cleanly.
+		nl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer nl.Close()
+		go func() {
+			nc, err := nl.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+			codec := protocol.NewFramedCodec(nc)
+			if _, err := codec.Recv(); err != nil {
+				return
+			}
+			_ = codec.Send(&protocol.Message{Welcome: &protocol.Welcome{Proto: Proto, ID: 0, Features: 1 << 9}})
+		}()
+		if _, _, err := Dial("tcp", nl.Addr().String(), &protocol.Hello{Role: "data"}); err == nil {
+			t.Fatal("dial accepting unoffered feature bits succeeded")
+		} else if !strings.Contains(err.Error(), "feature bits") {
+			t.Fatalf("error does not name the feature bits: %v", err)
+		}
+	})
+}
+
+// TestBatchConnConcurrentFeed stresses the encode-outside-mutex path:
+// many goroutines feed one coalescing BatchConn while the receiver
+// replays chunks. Every chunk must arrive intact and in per-sender
+// order — chunks interleave across senders but never tear.
+func TestBatchConnConcurrentFeed(t *testing.T) {
+	const senders, chunksPer, perChunk = 8, 200, 17
+	ln, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	var got [][]tuple.Tuple
+	done := make(chan struct{})
+	go func() {
+		sc, _, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = sc.Welcome(0)
+		flushEcho(t, sc, &got, done)
+	}()
+
+	dc, _, err := Dial("tcp", ln.Addr(), &protocol.Hello{Role: "data"})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if !dc.Binary() {
+		t.Fatal("binary wire not negotiated")
+	}
+	bc := NewBatchConn(dc, 4<<10) // small budget: force mid-stream frame flushes
+
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ts := make([]tuple.Tuple, perChunk)
+			for seq := 0; seq < chunksPer; seq++ {
+				base := uint64(g)<<32 | uint64(seq)<<8
+				for i := range ts {
+					ts[i] = tuple.New(tuple.Key(base+uint64(i)), int64(i))
+				}
+				bc.FeedBatch(ts)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := bc.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	bc.Close()
+	<-done
+
+	if len(got) != senders*chunksPer {
+		t.Fatalf("received %d chunks, want %d", len(got), senders*chunksPer)
+	}
+	nextSeq := make([]int, senders)
+	for ci, chunk := range got {
+		if len(chunk) != perChunk {
+			t.Fatalf("chunk %d has %d tuples, want %d", ci, len(chunk), perChunk)
+		}
+		g := int(chunk[0].Key >> 32)
+		seq := int(chunk[0].Key>>8) & 0xffffff
+		if g < 0 || g >= senders || seq != nextSeq[g] {
+			t.Fatalf("chunk %d: sender %d seq %d, want seq %d", ci, g, seq, nextSeq[g])
+		}
+		nextSeq[g]++
+		base := uint64(g)<<32 | uint64(seq)<<8
+		for i, tt := range chunk {
+			if tt.Key != tuple.Key(base+uint64(i)) || tt.Value != any(int64(i)) {
+				t.Fatalf("chunk %d tuple %d torn: %+v", ci, i, tt)
+			}
+		}
 	}
 }
 
@@ -178,7 +451,9 @@ func flushEcho(t *testing.T, c *Conn, got *[][]tuple.Tuple, done chan<- struct{}
 		}
 		switch {
 		case m.Batch != nil:
-			*got = append(*got, append([]tuple.Tuple(nil), m.Batch.Tuples...))
+			m.Batch.Chunks(func(ts []tuple.Tuple) {
+				*got = append(*got, append([]tuple.Tuple(nil), ts...))
+			})
 		case m.FlushReq != nil:
 			if c.Send(&protocol.Message{FlushReq: m.FlushReq}) != nil {
 				return
@@ -211,7 +486,7 @@ func TestBatchConnFlushBarrier(t *testing.T) {
 			if err != nil {
 				t.Fatalf("dial: %v", err)
 			}
-			bc := NewBatchConn(dc)
+			bc := NewBatchConn(dc, 0)
 
 			// Chunk boundaries must be preserved: one FeedBatch = one
 			// received batch, in order.

@@ -192,7 +192,7 @@ func (w *Worker) assign(a *protocol.StageAssign) error {
 			return fmt.Errorf("cluster: worker %s: stage %d: dial downstream s%d: %w", w.name, a.Stage, a.DownStage, err)
 		}
 		dc.SetName(fmt.Sprintf("data s%d→s%d", a.Stage, a.DownStage))
-		h.down = NewBatchConn(dc)
+		h.down = NewBatchConn(dc, a.Coalesce)
 		st.SetSink(h.down)
 	}
 	if a.Control {
@@ -345,7 +345,13 @@ func (w *Worker) serveData(c *Conn, hello *protocol.Hello) {
 		}
 		switch {
 		case m.Batch != nil:
-			st.FeedBatch(m.Batch.Tuples)
+			// Replay the sender's FeedBatch call sequence: a coalesced
+			// frame carries its chunk boundaries in Bounds, and feeding
+			// chunk by chunk keeps shuffle routing and arrival accounting
+			// bit-identical to the uncoalesced wire. The decoded tuples
+			// live in the codec's pooled buffer (valid until the next
+			// Recv); FeedBatch copies them out before returning.
+			m.Batch.Chunks(st.FeedBatch)
 		case m.FlushReq != nil:
 			if c.Send(&protocol.Message{FlushReq: m.FlushReq}) != nil {
 				return

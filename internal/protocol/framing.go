@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Length framing for the socket transport. The gob Codec already
@@ -124,14 +125,72 @@ func (fr *frameReader) fill() error {
 	return nil
 }
 
+// frame returns the next whole frame payload. The returned slice
+// aliases the retained buffer and is valid until the next frame or
+// Read. io.EOF marks a clean shutdown; truncation surfaces as an
+// io.ErrUnexpectedEOF-wrapped error, exactly like Read.
+func (fr *frameReader) frame() ([]byte, error) {
+	if fr.done {
+		return nil, io.EOF
+	}
+	for fr.off == fr.n {
+		if err := fr.fill(); err != nil {
+			return nil, err
+		}
+		if fr.done {
+			return nil, io.EOF
+		}
+	}
+	p := fr.buf[fr.off:fr.n]
+	fr.off = fr.n
+	return p, nil
+}
+
+// framedSource feeds the gob decoder from a frameReader. It implements
+// io.ByteReader so gob reads it directly instead of wrapping it in a
+// bufio.Reader — bufio would read ahead past the current message's
+// frames, which breaks the gob→binary mode switch after the handshake
+// (the binary dispatcher needs the next frame untouched). Bytes served
+// are counted into the codec's receive counter.
+type framedSource struct {
+	fr *frameReader
+	n  *atomic.Int64
+}
+
+func (s *framedSource) Read(p []byte) (int, error) {
+	n, err := s.fr.Read(p)
+	s.n.Add(int64(n))
+	return n, err
+}
+
+func (s *framedSource) ReadByte() (byte, error) {
+	fr := s.fr
+	if fr.done {
+		return 0, io.EOF
+	}
+	for fr.off == fr.n {
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+		if fr.done {
+			return 0, io.EOF
+		}
+	}
+	b := fr.buf[fr.off]
+	fr.off++
+	s.n.Add(1)
+	return b, nil
+}
+
 // NewFramedCodec wraps a byte stream in length framing and returns a
 // Codec speaking gob over it. It is the socket-transport variant of
 // NewCodec: same message encoding, same counters, plus frame
 // boundaries so truncation is always detected and shutdown is clean.
 func NewFramedCodec(rw io.ReadWriter) *Codec {
 	c := &Codec{w: &frameWriter{w: rw}}
+	c.fr = &frameReader{r: rw}
 	c.enc = gob.NewEncoder(&c.buf)
-	c.dec = gob.NewDecoder(&countingReader{r: &frameReader{r: rw}, n: &c.rcvd})
+	c.dec = gob.NewDecoder(&framedSource{fr: c.fr, n: &c.rcvd})
 	return c
 }
 

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"io"
@@ -262,6 +263,11 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		for name, mk := range map[string]func(io.ReadWriter) *Codec{
 			"plain":  func(rw io.ReadWriter) *Codec { return NewCodec(rw) },
 			"framed": NewFramedCodec,
+			"binary": func(rw io.ReadWriter) *Codec {
+				c := NewFramedCodec(rw)
+				c.EnableBinary()
+				return c
+			},
 		} {
 			orig := buildMessage(seed, kind, n)
 
@@ -315,44 +321,97 @@ func FuzzFramedTruncation(f *testing.F) {
 			n = -n
 		}
 		n %= 1 << 10
-		var wire bytes.Buffer
-		sender := NewFramedCodec(&wire)
-		msgs := make([]*Message, 3)
-		for i := range msgs {
-			msgs[i] = buildMessage(seed+uint64(i), kind+i, n)
-			if err := sender.Send(msgs[i]); err != nil {
-				t.Fatalf("send %d: %v", i, err)
+		for _, mode := range []string{"gob", "binary"} {
+			var wire bytes.Buffer
+			sender := NewFramedCodec(&wire)
+			if mode == "binary" {
+				sender.EnableBinary()
 			}
-		}
-		full := wire.Bytes()
-		if cut < 0 {
-			cut = -cut
-		}
-		cut %= len(full) + 1
-
-		rc := NewFramedCodec(readerOnly{bytes.NewReader(full[:cut])})
-		decoded := 0
-		for {
-			got, err := rc.Recv()
-			if err != nil {
-				if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameTooLarge) {
-					// gob-level errors on a truncated tail are fine too;
-					// what must never happen is a silent wrong message.
-					_ = err
+			msgs := make([]*Message, 3)
+			for i := range msgs {
+				msgs[i] = buildMessage(seed+uint64(i), kind+i, n)
+				if err := sender.Send(msgs[i]); err != nil {
+					t.Fatalf("%s send %d: %v", mode, i, err)
 				}
-				break
 			}
-			if decoded >= len(msgs) {
-				t.Fatalf("decoded %d messages from a %d-message stream", decoded+1, len(msgs))
+			full := wire.Bytes()
+			c := cut
+			if c < 0 {
+				c = -c
 			}
-			if !reflect.DeepEqual(normalize(msgs[decoded]), normalize(got)) {
-				t.Fatalf("prefix cut at %d delivered a corrupt message %d:\n sent %#v\n got  %#v",
-					cut, decoded, msgs[decoded], got)
+			c %= len(full) + 1
+
+			rc := NewFramedCodec(readerOnly{bytes.NewReader(full[:c])})
+			if mode == "binary" {
+				rc.EnableBinary()
 			}
-			decoded++
+			decoded := 0
+			for {
+				got, err := rc.Recv()
+				if err != nil {
+					if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrFrameTooLarge) {
+						// gob- or binary-level errors on a truncated tail are
+						// fine too; what must never happen is a silent wrong
+						// message.
+						_ = err
+					}
+					break
+				}
+				if decoded >= len(msgs) {
+					t.Fatalf("%s: decoded %d messages from a %d-message stream", mode, decoded+1, len(msgs))
+				}
+				if !reflect.DeepEqual(normalize(msgs[decoded]), normalize(got)) {
+					t.Fatalf("%s: prefix cut at %d delivered a corrupt message %d:\n sent %#v\n got  %#v",
+						mode, c, decoded, msgs[decoded], got)
+				}
+				decoded++
+			}
+			if c == len(full) && decoded != len(msgs) {
+				t.Fatalf("%s: full stream decoded only %d of %d messages", mode, decoded, len(msgs))
+			}
 		}
-		if cut == len(full) && decoded != len(msgs) {
-			t.Fatalf("full stream decoded only %d of %d messages", decoded, len(msgs))
+	})
+}
+
+// FuzzBinaryHostile hands the binary decoder a raw attacker-controlled
+// frame payload: whatever the bytes, Recv must return a message or an
+// error — never panic, never attempt an allocation sized from an
+// unvalidated count. Seeds cover a valid frame of every binary kind
+// plus known-hostile shapes (giant counts, cut columns, bad tags).
+func FuzzBinaryHostile(f *testing.F) {
+	for _, kind := range []int{0, 1, 3, 4, 5, 7, 8, 15, 16} {
+		var wire bytes.Buffer
+		c := NewFramedCodec(&wire)
+		c.EnableBinary()
+		if err := c.Send(buildMessage(uint64(kind)*977, kind, 9)); err != nil {
+			f.Fatalf("seed kind %d: %v", kind, err)
+		}
+		f.Add(wire.Bytes()[frameHeaderLen:]) // strip the length prefix
+	}
+	f.Add([]byte{kindBatch, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{kindBatch, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{kindBatch, 0, 0, 0, 1, 0, 0, 0, 2, 5})
+	f.Add([]byte{kindReport, 0x80})
+	f.Add([]byte{kindFlush, 1, 2, 3})
+	f.Add([]byte{0x7f})
+	f.Add([]byte{kindGob, 0xde, 0xad})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > maxFrame {
+			return
+		}
+		var stream []byte
+		stream = binary.BigEndian.AppendUint32(stream, uint32(len(payload)))
+		stream = append(stream, payload...)
+		c := NewFramedCodec(readerOnly{bytes.NewReader(stream)})
+		c.EnableBinary()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				break // any error is acceptable; panics are not
+			}
+			if m.Kind() == "empty" {
+				t.Fatalf("hostile payload decoded to an empty message")
+			}
 		}
 	})
 }

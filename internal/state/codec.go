@@ -23,6 +23,13 @@ import (
 // values are interface-typed; operators whose state values are not
 // already gob-registered basic types must call RegisterValue once at
 // startup on each side.
+//
+// This codec deliberately stays gob even on binary-wire connections
+// (the payload crosses inside a kind-dispatched gob frame): state
+// transfers happen once per migrated key per rebalance, not per
+// interval, and gob's self-describing stream is the right safety
+// trade for arbitrary operator state. The binary wire reserves its
+// hand-rolled encodings for the per-interval message set.
 type Codec struct{}
 
 // wireBucket mirrors bucket with exported fields for encoding.
